@@ -1,0 +1,62 @@
+// Reproduces Figure 5.3: State Sizes for UNIX Processes — the distribution
+// the queuing model samples process state sizes (and therefore checkpoint
+// sizes) from, verified against a large sample drawn through the same path
+// the simulation uses.
+
+#include <benchmark/benchmark.h>
+
+#include <array>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/queueing/simulation.h"
+
+namespace publishing {
+namespace {
+
+void PrintTables() {
+  PrintHeader("Figure 5.3: State Sizes for UNIX Processes");
+  std::printf("  %-14s %12s %14s\n", "state size", "fraction", "sampled (n=1e5)");
+  PrintRule();
+
+  // Draw through the distribution exactly as RunQueueingSimulation does.
+  Rng rng(12345);
+  std::array<uint64_t, 5> counts{};
+  constexpr int kSamples = 100000;
+  for (int i = 0; i < kSamples; ++i) {
+    double u = rng.NextDouble();
+    double acc = 0.0;
+    for (size_t b = 0; b < StateSizeDistribution().size(); ++b) {
+      acc += StateSizeDistribution()[b].fraction;
+      if (u <= acc) {
+        ++counts[b];
+        break;
+      }
+    }
+  }
+  for (size_t b = 0; b < StateSizeDistribution().size(); ++b) {
+    const StateSizeBucket& bucket = StateSizeDistribution()[b];
+    std::printf("  %10zu KB %11.0f%% %13.1f%%\n", bucket.bytes / 1024, bucket.fraction * 100,
+                100.0 * static_cast<double>(counts[b]) / kSamples);
+  }
+  PrintRule();
+  std::printf("  mean state size: %.1f KB\n\n", MeanStateBytes() / 1024.0);
+}
+
+void BM_SampleStateSizes(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.NextDouble());
+  }
+}
+BENCHMARK(BM_SampleStateSizes);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

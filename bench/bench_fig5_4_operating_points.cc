@@ -1,0 +1,70 @@
+// Reproduces Figure 5.2 (Hardware Parameters for the Queuing Model) and
+// Figure 5.4 (Operating Points for the Queuing Model), plus the analytic
+// per-subsystem utilizations each operating point implies per node.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/queueing/simulation.h"
+
+namespace publishing {
+namespace {
+
+void PrintTables() {
+  PrintHeader("Figure 5.2: Hardware Parameters for the Queuing Model");
+  HardwareParams hw;
+  std::printf("  %-42s %8.1f ms\n", "Ethernet interface interpacket delay",
+              ToMillis(hw.interpacket_delay));
+  std::printf("  %-42s %8.0f megabits/s\n", "Network bandwidth",
+              hw.network_bits_per_second / 1e6);
+  std::printf("  %-42s %8.1f ms\n", "Disk latency", ToMillis(hw.disk_latency));
+  std::printf("  %-42s %8.0f megabytes/s\n", "Disk transfer rate",
+              hw.disk_bytes_per_second / 1e6);
+  std::printf("  %-42s %8.1f ms\n", "Time to process a packet", ToMillis(hw.packet_cpu));
+
+  PrintHeader("Figure 5.4: Operating Points for the Queuing Model (per node)");
+  std::printf("  %-18s %10s %10s %10s %12s\n", "point", "load avg", "short/s", "long/s",
+              "state bytes");
+  PrintRule();
+  for (const OperatingPoint& op : StandardOperatingPoints()) {
+    std::printf("  %-18s %10.1f %10.1f %10.1f %12s\n", op.name.c_str(), op.load_average,
+                op.short_msgs_per_second, op.long_msgs_per_second,
+                op.forced_state_bytes == 0
+                    ? "fig 5.3"
+                    : std::to_string(op.forced_state_bytes).c_str());
+  }
+
+  PrintHeader("Analytic per-node utilization implied by each operating point");
+  std::printf("  %-18s %10s %10s %10s\n", "point", "network", "rec. CPU", "disk");
+  PrintRule();
+  for (const OperatingPoint& op : StandardOperatingPoints()) {
+    QueueingConfig config;
+    config.op = op;
+    config.nodes = 1;
+    AnalyticUtilizations u = ComputeAnalyticUtilizations(config);
+    std::printf("  %-18s %9.1f%% %9.1f%% %9.1f%%\n", op.name.c_str(), 100 * u.network,
+                100 * u.cpu, 100 * u.disk);
+  }
+  std::printf("\n");
+}
+
+void BM_AnalyticUtilizations(benchmark::State& state) {
+  QueueingConfig config;
+  config.op = StandardOperatingPoints()[0];
+  config.nodes = 5;
+  for (auto _ : state) {
+    AnalyticUtilizations u = ComputeAnalyticUtilizations(config);
+    benchmark::DoNotOptimize(u);
+  }
+}
+BENCHMARK(BM_AnalyticUtilizations);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Reproduces Figure 5.5: Percent Utilization of System Components — disk,
+// recorder-node CPU, and network utilization for 1–5 processing nodes and
+// 1–3 disks, at each operating point, from the discrete-event solution of
+// the Figure 5.1 open queuing model.  Also reprints the two §5.1 saturation
+// findings (unbuffered-disk saturation at the max long-message rate, and
+// whole-system saturation beyond 3 nodes at the max system-call rate).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/queueing/simulation.h"
+
+namespace publishing {
+namespace {
+
+QueueingConfig MakeConfig(const OperatingPoint& op, size_t nodes, size_t disks) {
+  QueueingConfig config;
+  config.op = op;
+  config.nodes = nodes;
+  config.disks = disks;
+  config.duration = Seconds(60);
+  config.seed = 99;
+  return config;
+}
+
+void PrintUtilizationSeries() {
+  for (const OperatingPoint& op : StandardOperatingPoints()) {
+    PrintHeader("Figure 5.5 @ operating point '" + op.name + "'");
+    std::printf("  %5s | %8s %8s | %28s\n", "nodes", "network", "CPU", "disk (1 / 2 / 3 disks)");
+    PrintRule();
+    for (size_t nodes = 1; nodes <= 5; ++nodes) {
+      double disk_util[3] = {0, 0, 0};
+      QueueingResult base;
+      for (size_t disks = 1; disks <= 3; ++disks) {
+        QueueingResult result = RunQueueingSimulation(MakeConfig(op, nodes, disks));
+        disk_util[disks - 1] = result.disk_utilization;
+        if (disks == 1) {
+          base = result;
+        }
+      }
+      std::printf("  %5zu | %7.1f%% %7.1f%% | %8.1f%% %8.1f%% %8.1f%%\n", nodes,
+                  100 * base.network_utilization, 100 * base.cpu_utilization,
+                  100 * disk_util[0], 100 * disk_util[1], 100 * disk_util[2]);
+    }
+  }
+}
+
+void PrintSaturationFindings() {
+  PrintHeader("§5.1 saturation findings");
+
+  // Finding 1: at the max long-message rate, one-write-per-message
+  // saturates the disk; 4 KB buffering removes the saturation.
+  QueueingConfig disk_point = MakeConfig(StandardOperatingPoints()[4], 5, 1);
+  disk_point.buffered_writes = false;
+  AnalyticUtilizations unbuffered = ComputeAnalyticUtilizations(disk_point);
+  disk_point.buffered_writes = true;
+  AnalyticUtilizations buffered = ComputeAnalyticUtilizations(disk_point);
+  std::printf("  max-disk-rate, 5 nodes, 1 disk:\n");
+  std::printf("    one disk write per message : disk %.0f%%  (saturated: %s)\n",
+              100 * unbuffered.disk, unbuffered.disk >= 1.0 ? "yes" : "no");
+  std::printf("    4 KB write buffering       : disk %.0f%%  (saturated: %s)\n",
+              100 * buffered.disk, buffered.disk >= 1.0 ? "yes" : "no");
+
+  // Finding 2: the max system-call point saturates past 3 nodes.
+  std::printf("  max-syscall-rate, 1 disk:\n");
+  for (size_t nodes = 3; nodes <= 4; ++nodes) {
+    AnalyticUtilizations u =
+        ComputeAnalyticUtilizations(MakeConfig(StandardOperatingPoints()[3], nodes, 1));
+    std::printf("    %zu nodes: network %.0f%%, CPU %.0f%%  (saturated: %s)\n", nodes,
+                100 * u.network, 100 * u.cpu,
+                (u.network >= 1.0 || u.cpu >= 1.0) ? "yes" : "no");
+  }
+
+  // Storage and buffering headroom (§5.1 closing numbers).
+  QueueingResult mean = RunQueueingSimulation(MakeConfig(StandardOperatingPoints()[1], 5, 1));
+  std::printf("  worst-case observed (max-load point, 5 nodes):\n");
+  std::printf("    peak recorder buffering    : %.1f KB   (paper: at most 28 KB)\n",
+              static_cast<double>(mean.peak_recorder_buffer_bytes) / 1024.0);
+  std::printf("    peak checkpoint+log storage: %.2f MB   (paper: 2.76 MB worst case)\n",
+              static_cast<double>(mean.peak_storage_bytes) / (1024.0 * 1024.0));
+  std::printf("    mean checkpoint interval   : %.1f s    (paper: 1 s ... 2 min)\n\n",
+              mean.mean_checkpoint_interval_s);
+}
+
+void BM_QueueingSimulation5Nodes(benchmark::State& state) {
+  for (auto _ : state) {
+    QueueingConfig config = MakeConfig(StandardOperatingPoints()[0], 5, 1);
+    config.duration = Seconds(10);
+    benchmark::DoNotOptimize(RunQueueingSimulation(config));
+  }
+}
+BENCHMARK(BM_QueueingSimulation5Nodes)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintUtilizationSeries();
+  publishing::PrintSaturationFindings();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Reproduces Figures 6.1/6.2: standard Ethernet vs Acknowledging Ethernet
+// under light and heavy load.
+//
+// On a standard Ethernet, end-to-end acknowledgements are ordinary frames;
+// under load they contend with data frames and collide ("On the normal
+// Ethernet this acknowledge, with high probability, will collide with a
+// transmission from some other node", §6.1.1).  The Acknowledging Ethernet
+// reserves a slot after each frame for the acknowledgement, so acks never
+// collide and the channel is better utilized.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/net/ethernet.h"
+#include "src/transport/endpoint.h"
+
+namespace publishing {
+namespace {
+
+struct LoadResult {
+  double collisions_per_data_frame = 0.0;
+  double mean_queue_delay_ms = 0.0;
+  double retransmit_rate = 0.0;
+  uint64_t delivered = 0;
+};
+
+// N nodes exchanging guaranteed messages (which generate transport acks) at
+// `rate_per_node` messages/second for `duration`.
+LoadResult RunLoad(bool acknowledging, double rate_per_node, SimDuration duration) {
+  Simulator sim;
+  EthernetOptions options;
+  options.acknowledging = acknowledging;
+  Ethernet ether(&sim, MediumTimings{}, MediumFaults{}, /*fault_seed=*/3, options);
+
+  constexpr size_t kNodes = 6;
+  uint64_t delivered = 0;
+  std::vector<std::unique_ptr<TransportEndpoint>> endpoints;
+  for (size_t i = 0; i < kNodes; ++i) {
+    endpoints.push_back(std::make_unique<TransportEndpoint>(
+        &sim, &ether, NodeId{static_cast<uint32_t>(i + 1)}, TransportOptions{},
+        [&delivered](const Packet&) { ++delivered; }));
+  }
+
+  Rng rng(17);
+  uint64_t seq = 0;
+  std::function<void(size_t)> arrival = [&](size_t node) {
+    const SimDuration gap = SecondsF(rng.NextExponential(1.0 / rate_per_node));
+    sim.ScheduleAfter(gap, [&, node] {
+      if (sim.Now() >= duration) {
+        return;
+      }
+      Packet packet;
+      ProcessId src{NodeId{static_cast<uint32_t>(node + 1)}, 10};
+      size_t dst = (node + 1 + rng.NextBelow(kNodes - 1)) % kNodes;
+      packet.header.id = MessageId{src, ++seq};
+      packet.header.src_process = src;
+      packet.header.dst_process = ProcessId{NodeId{static_cast<uint32_t>(dst + 1)}, 10};
+      packet.header.dst_node = NodeId{static_cast<uint32_t>(dst + 1)};
+      packet.header.flags = kFlagGuaranteed;
+      packet.body = Bytes(512, 0x55);
+      endpoints[node]->Send(std::move(packet));
+      arrival(node);
+    });
+  };
+  for (size_t i = 0; i < kNodes; ++i) {
+    arrival(i);
+  }
+  sim.RunUntil(duration + Seconds(2));
+
+  LoadResult result;
+  const MediumStats& stats = ether.stats();
+  uint64_t data_frames = stats.frames_sent;
+  result.collisions_per_data_frame =
+      data_frames == 0 ? 0.0
+                       : static_cast<double>(stats.collisions) / static_cast<double>(data_frames);
+  result.mean_queue_delay_ms = stats.queue_delay_ms.mean();
+  uint64_t sent = 0;
+  uint64_t retransmits = 0;
+  for (const auto& endpoint : endpoints) {
+    sent += endpoint->stats().data_sent;
+    retransmits += endpoint->stats().retransmits;
+  }
+  result.retransmit_rate = sent == 0 ? 0.0 : static_cast<double>(retransmits) / sent;
+  result.delivered = delivered;
+  return result;
+}
+
+void PrintTables() {
+  struct Scenario {
+    const char* name;
+    double rate;
+  };
+  const Scenario scenarios[] = {
+      {"lightly loaded (Fig 6.1)", 10.0},
+      {"heavily loaded (Fig 6.2)", 70.0},
+  };
+  for (const Scenario& scenario : scenarios) {
+    PrintHeader(std::string("Ethernet vs Acknowledging Ethernet — ") + scenario.name);
+    std::printf("  %-24s %18s %16s %12s\n", "", "collisions/frame", "queue delay ms",
+                "delivered");
+    PrintRule();
+    LoadResult plain = RunLoad(false, scenario.rate, Seconds(30));
+    LoadResult acking = RunLoad(true, scenario.rate, Seconds(30));
+    std::printf("  %-24s %18.3f %16.2f %12llu\n", "standard Ethernet",
+                plain.collisions_per_data_frame, plain.mean_queue_delay_ms,
+                static_cast<unsigned long long>(plain.delivered));
+    std::printf("  %-24s %18.3f %16.2f %12llu\n", "Acknowledging Ethernet",
+                acking.collisions_per_data_frame, acking.mean_queue_delay_ms,
+                static_cast<unsigned long long>(acking.delivered));
+  }
+  std::printf("\n  paper shape: under light load the two behave alike; under heavy load\n"
+              "  the standard Ethernet wastes bandwidth on ack collisions while the\n"
+              "  reserved ack slot keeps the Acknowledging Ethernet collision-free.\n\n");
+}
+
+void BM_HeavyLoadAcknowledging(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunLoad(true, 70.0, Seconds(5)));
+  }
+}
+BENCHMARK(BM_HeavyLoadAcknowledging)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

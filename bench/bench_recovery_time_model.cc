@@ -1,0 +1,86 @@
+// Reproduces the §3.2.3 recovery-time bound model, including the worked
+// example of Figure 3.1:
+//
+//   t=0+   (just after a 4-page checkpoint)          t_max = 140 ms
+//   t=200  (100 ms of CPU consumed)                  t_max = 340 ms
+//   t=200+ (after receiving a 500-byte message)      t_max = 347 ms
+//
+// and sweeps t_max against messages-received-since-checkpoint, the curve the
+// recovery-bound checkpoint policy clamps.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/recovery_time_model.h"
+
+namespace publishing {
+namespace {
+
+void PrintWorkedExample() {
+  PrintHeader("§3.2.3 worked example (Figure 3.1 parameters)");
+  RecoveryTimeParams params;  // Defaults are the worked example's values.
+  std::printf("  t_cfix=%.0fms t_page=%.0fms/page t_mfix=%.0fms t_byte=%.2fms/byte f_cpu=%.1f\n",
+              ToMillis(params.t_cfix), ToMillis(params.t_page), ToMillis(params.t_mfix),
+              ToMillis(params.t_byte), params.f_cpu);
+  PrintRule();
+
+  RecoveryTimeModel model(params);
+  // Checkpoint of 4 pages at t=0.
+  model.OnCheckpoint(/*pages=*/4, /*now=*/0);
+  std::printf("  immediately after checkpoint : t_max = %7.0f ms   (paper: 140 ms)\n",
+              ToMillis(model.MaxRecoveryTime(0)));
+
+  // 100 ms of execution later (the example's t=200 ms wall point, at which
+  // the process has accumulated 100 ms of CPU at f_cpu=0.5).
+  std::printf("  after 100 ms of execution    : t_max = %7.0f ms   (paper: 340 ms)\n",
+              ToMillis(model.MaxRecoveryTime(Millis(100))));
+
+  // Immediately after a 500-byte message.
+  model.OnMessage(500);
+  std::printf("  after a 500-byte message     : t_max = %7.0f ms   (paper: ~347 ms)\n",
+              ToMillis(model.MaxRecoveryTime(Millis(100))));
+  std::printf("\n");
+}
+
+void PrintSweep() {
+  PrintHeader("t_max vs messages received since a 16 KB checkpoint (1 KB messages)");
+  RecoveryTimeParams params;
+  std::printf("  %10s %14s %14s %14s %12s\n", "messages", "reload (ms)", "replay (ms)",
+              "compute (ms)", "t_max (ms)");
+  PrintRule();
+  for (uint64_t messages : {0, 10, 50, 100, 500, 1000}) {
+    RecoveryTimeModel model(params);
+    model.OnCheckpoint(/*pages=*/4, /*now=*/0);
+    for (uint64_t i = 0; i < messages; ++i) {
+      model.OnMessage(1024);
+    }
+    // Assume the process consumed 1 ms of CPU per message.
+    SimTime now = Millis(static_cast<int64_t>(messages));
+    std::printf("  %10llu %14.0f %14.0f %14.0f %12.0f\n",
+                static_cast<unsigned long long>(messages), ToMillis(model.ReloadTime()),
+                ToMillis(model.ReplayTime()), ToMillis(model.ComputeTime(now)),
+                ToMillis(model.MaxRecoveryTime(now)));
+  }
+  std::printf("\n");
+}
+
+void BM_RecoveryTimeModel(benchmark::State& state) {
+  RecoveryTimeModel model;
+  model.OnCheckpoint(4, 0);
+  for (auto _ : state) {
+    model.OnMessage(1024);
+    benchmark::DoNotOptimize(model.MaxRecoveryTime(Millis(100)));
+  }
+}
+BENCHMARK(BM_RecoveryTimeModel);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintWorkedExample();
+  publishing::PrintSweep();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Reproduces the abstract's capacity claim: "The simulation shows that [a]
+// recorder, constructed from current technology, can support a system of up
+// to 115 users."  Sweeps node count at the mean operating point until a
+// subsystem saturates, and reports the binding resource.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/queueing/simulation.h"
+
+namespace publishing {
+namespace {
+
+void PrintTables() {
+  PrintHeader("Recorder capacity at the mean operating point");
+  QueueingConfig config;
+  config.op = StandardOperatingPoints()[0];
+  std::printf("  %5s | %8s %8s %8s | %6s\n", "nodes", "network", "CPU", "disk", "users");
+  PrintRule();
+  for (size_t nodes = 1; nodes <= 8; ++nodes) {
+    config.nodes = nodes;
+    AnalyticUtilizations u = ComputeAnalyticUtilizations(config);
+    bool saturated = u.network >= 1.0 || u.cpu >= 1.0 || u.disk >= 1.0;
+    std::printf("  %5zu | %7.1f%% %7.1f%% %7.1f%% | %6.0f %s\n", nodes, 100 * u.network,
+                100 * u.cpu, 100 * u.disk,
+                static_cast<double>(nodes) * config.op.users_per_node,
+                saturated ? "<- saturated" : "");
+  }
+  PrintRule();
+  CapacityEstimate capacity = EstimateCapacity(config);
+  std::printf("  capacity: %zu nodes = %.0f users (binding resource: %s)\n",
+              capacity.max_nodes, capacity.max_users, capacity.binding_resource);
+  std::printf("  paper   : \"can support a system of up to 115 users\"\n");
+
+  // §6.6.1 ablation: not publishing the traffic of non-recoverable processes
+  // ("If these processes were not considered recoverable, the recorder would
+  // be able to support one more VAX on the network").
+  PrintHeader("§6.6.1 ablation: capacity vs non-recoverable traffic fraction");
+  std::printf("  %12s | %10s %8s\n", "fraction", "max nodes", "users");
+  PrintRule();
+  for (double fraction : {0.0, 0.10, 0.15, 0.25, 0.50}) {
+    QueueingConfig ablated = config;
+    ablated.non_recoverable_fraction = fraction;
+    CapacityEstimate c = EstimateCapacity(ablated);
+    std::printf("  %11.0f%% | %10zu %8.0f\n", fraction * 100, c.max_nodes, c.max_users);
+  }
+  std::printf("\n");
+}
+
+void BM_CapacitySearch(benchmark::State& state) {
+  QueueingConfig config;
+  config.op = StandardOperatingPoints()[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EstimateCapacity(config));
+  }
+}
+BENCHMARK(BM_CapacitySearch);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Shared table-printing helpers for the reproduction benches.  Each bench
+// binary prints the paper-style table(s) it regenerates, then runs its
+// google-benchmark timing section.
+
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace publishing {
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void PrintRule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace publishing
+
+#endif  // BENCH_BENCH_UTIL_H_

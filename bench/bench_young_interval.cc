@@ -1,0 +1,79 @@
+// Ablation of checkpoint intervals against Young's first-order optimum
+// (§3.2.4): T_interval = sqrt(2 * T_save * T_mtbf).
+//
+// Prints the optimum for a range of checkpoint costs and failure rates, and
+// the expected overhead curve around the optimum, showing the minimum falls
+// where Young predicts.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "src/core/recovery_time_model.h"
+
+namespace publishing {
+namespace {
+
+void PrintOptimaTable() {
+  PrintHeader("Young's optimal checkpoint interval: sqrt(2 * T_save * T_mtbf)");
+  std::printf("  %14s %14s %18s\n", "T_save", "T_mtbf", "optimal interval");
+  PrintRule();
+  struct Case {
+    SimDuration save;
+    SimDuration mtbf;
+  };
+  const Case cases[] = {
+      {Millis(50), Seconds(60)},
+      {Millis(50), Seconds(600)},
+      {Millis(500), Seconds(60)},
+      {Millis(500), Seconds(3600)},
+      {Seconds(2), Seconds(3600)},
+  };
+  for (const Case& c : cases) {
+    std::printf("  %11.0f ms %11.0f s %15.1f s\n", ToMillis(c.save), ToSeconds(c.mtbf),
+                ToSeconds(YoungOptimalInterval(c.save, c.mtbf)));
+  }
+  std::printf("\n");
+}
+
+void PrintOverheadCurve() {
+  PrintHeader("Expected overhead fraction vs interval (T_save=500ms, MTBF=600s)");
+  const SimDuration save = Millis(500);
+  const SimDuration mtbf = Seconds(600);
+  const SimDuration young = YoungOptimalInterval(save, mtbf);
+  std::printf("  Young optimum: %.1f s\n", ToSeconds(young));
+  std::printf("  %16s %20s\n", "interval (s)", "overhead fraction");
+  PrintRule();
+  double best = 1e9;
+  double best_interval = 0;
+  for (double factor : {0.125, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0}) {
+    SimDuration interval = static_cast<SimDuration>(static_cast<double>(young) * factor);
+    double overhead = YoungExpectedOverheadFraction(interval, save, mtbf);
+    if (overhead < best) {
+      best = overhead;
+      best_interval = ToSeconds(interval);
+    }
+    std::printf("  %16.1f %19.4f%s\n", ToSeconds(interval), overhead,
+                factor == 1.0 ? "   <- Young" : "");
+  }
+  PrintRule();
+  std::printf("  minimum of the sampled curve at %.1f s (Young: %.1f s)\n\n", best_interval,
+              ToSeconds(young));
+}
+
+void BM_YoungInterval(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(YoungOptimalInterval(Millis(500), Seconds(600)));
+  }
+}
+BENCHMARK(BM_YoungInterval);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  publishing::PrintOptimaTable();
+  publishing::PrintOverheadCurve();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

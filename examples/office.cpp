@@ -1,0 +1,216 @@
+// Automated office — the thesis' first motivating scenario (Chapter 1, the
+// XEROX STAR configuration): personal workstations sharing an expensive
+// print server over a LAN.
+//
+// Two workstations each submit 15 print jobs to a shared print server, which
+// spools each job to a file server.  We crash the *entire node* hosting the
+// print server mid-burst.  The watchdog detects the silent processor,
+// power-cycles it, and publishing recovers the server — every job prints
+// exactly once and every workstation gets every completion notice, with no
+// application-level retry logic anywhere.
+//
+//   $ ./office
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/publishing_system.h"
+
+using namespace publishing;
+
+namespace {
+
+constexpr uint16_t kPrintChannel = 1;
+constexpr uint16_t kDoneChannel = 2;
+constexpr uint16_t kArchiveChannel = 3;
+constexpr uint64_t kJobsPerStation = 15;
+
+class PrintServerProgram : public UserProgram {
+ public:
+  static constexpr uint32_t kFileServerLink = 1;  // Initial link.
+
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    if (msg.channel != kPrintChannel) {
+      return;
+    }
+    Reader r(std::span<const uint8_t>(msg.body.data(), msg.body.size()));
+    const uint64_t job = *r.ReadU64();
+    const uint64_t pages = *r.ReadU64();
+    api.Charge(Millis(5) * static_cast<SimDuration>(pages));  // Print it.
+    ++jobs_printed_;
+    pages_printed_ += pages;
+
+    // Archive the job record on the file server.
+    Writer archive;
+    archive.WriteU64(job);
+    archive.WriteU64(pages);
+    api.Send(LinkId{kFileServerLink}, archive.TakeBytes());
+
+    // Tell the workstation (reply link rode along with the job).
+    if (msg.passed_link.IsValid()) {
+      Writer done;
+      done.WriteU64(job);
+      api.Send(msg.passed_link, done.TakeBytes());
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(jobs_printed_);
+    w.WriteU64(pages_printed_);
+  }
+  Status LoadState(Reader& r) override {
+    jobs_printed_ = *r.ReadU64();
+    pages_printed_ = *r.ReadU64();
+    return Status::Ok();
+  }
+
+  uint64_t jobs_printed() const { return jobs_printed_; }
+
+ private:
+  uint64_t jobs_printed_ = 0;
+  uint64_t pages_printed_ = 0;
+};
+
+class FileServerProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    (void)api;
+    if (msg.channel != kArchiveChannel) {
+      return;
+    }
+    Reader r(std::span<const uint8_t>(msg.body.data(), msg.body.size()));
+    const uint64_t job = *r.ReadU64();
+    ++archived_;
+    archive_hash_ = archive_hash_ * 31 + job;
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(archived_);
+    w.WriteU64(archive_hash_);
+  }
+  Status LoadState(Reader& r) override {
+    archived_ = *r.ReadU64();
+    archive_hash_ = *r.ReadU64();
+    return Status::Ok();
+  }
+
+  uint64_t archived() const { return archived_; }
+
+ private:
+  uint64_t archived_ = 0;
+  uint64_t archive_hash_ = 1;
+};
+
+class WorkstationProgram : public UserProgram {
+ public:
+  static constexpr uint32_t kPrinterLink = 1;  // Initial link.
+
+  explicit WorkstationProgram(uint64_t id) : id_(id) {}
+
+  void OnStart(KernelApi& api) override { SubmitNext(api); }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    if (msg.channel != kDoneChannel) {
+      return;
+    }
+    ++confirmed_;
+    if (submitted_ < kJobsPerStation) {
+      SubmitNext(api);
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(id_);
+    w.WriteU64(submitted_);
+    w.WriteU64(confirmed_);
+  }
+  Status LoadState(Reader& r) override {
+    id_ = *r.ReadU64();
+    submitted_ = *r.ReadU64();
+    confirmed_ = *r.ReadU64();
+    return Status::Ok();
+  }
+
+  uint64_t confirmed() const { return confirmed_; }
+
+ private:
+  void SubmitNext(KernelApi& api) {
+    auto reply = api.CreateLink(kDoneChannel, 0);
+    Writer w;
+    w.WriteU64(id_ * 1000 + submitted_);          // Job id.
+    w.WriteU64(1 + (submitted_ * 7 + id_) % 9);   // Page count.
+    ++submitted_;
+    api.Send(LinkId{kPrinterLink}, w.TakeBytes(), *reply);
+  }
+
+  uint64_t id_ = 0;
+  uint64_t submitted_ = 0;
+  uint64_t confirmed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  PublishingSystemConfig config;
+  config.cluster.node_count = 4;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+  system.EnableCheckpointPolicy(std::make_unique<FixedIntervalPolicy>(Millis(400)));
+  auto& registry = system.cluster().registry();
+  registry.Register("file-server", [] { return std::make_unique<FileServerProgram>(); });
+  registry.Register("print-server", [] { return std::make_unique<PrintServerProgram>(); });
+  registry.Register("workstation-a", [] { return std::make_unique<WorkstationProgram>(1); });
+  registry.Register("workstation-b", [] { return std::make_unique<WorkstationProgram>(2); });
+
+  auto file_server = system.cluster().Spawn(NodeId{4}, "file-server");
+  auto print_server = system.cluster().Spawn(
+      NodeId{3}, "print-server", {Link{*file_server, kArchiveChannel, 0, 0}});
+  auto station_a = system.cluster().Spawn(NodeId{1}, "workstation-a",
+                                          {Link{*print_server, kPrintChannel, 0, 0}});
+  auto station_b = system.cluster().Spawn(NodeId{2}, "workstation-b",
+                                          {Link{*print_server, kPrintChannel, 0, 0}});
+
+  std::printf("office: 2 workstations x %llu jobs -> print server (node 3) -> file server\n",
+              static_cast<unsigned long long>(kJobsPerStation));
+
+  system.RunFor(Millis(250));
+  std::printf("\n--- pulling the plug on node 3 (the print server's whole processor) ---\n\n");
+  system.CrashNode(NodeId{3});
+
+  // No explicit recovery call: the watchdog notices the silence.
+  system.RunFor(Seconds(600));
+
+  const auto* a = dynamic_cast<const WorkstationProgram*>(
+      system.cluster().kernel(NodeId{1})->ProgramFor(*station_a));
+  const auto* b = dynamic_cast<const WorkstationProgram*>(
+      system.cluster().kernel(NodeId{2})->ProgramFor(*station_b));
+  const auto* printer = dynamic_cast<const PrintServerProgram*>(
+      system.cluster().kernel(NodeId{3})->ProgramFor(*print_server));
+  const auto* files = dynamic_cast<const FileServerProgram*>(
+      system.cluster().kernel(NodeId{4})->ProgramFor(*file_server));
+
+  std::printf("workstation A: %llu/%llu confirmations\n",
+              static_cast<unsigned long long>(a->confirmed()),
+              static_cast<unsigned long long>(kJobsPerStation));
+  std::printf("workstation B: %llu/%llu confirmations\n",
+              static_cast<unsigned long long>(b->confirmed()),
+              static_cast<unsigned long long>(kJobsPerStation));
+  std::printf("print server : %llu jobs printed (exactly once each)\n",
+              static_cast<unsigned long long>(printer ? printer->jobs_printed() : 0));
+  std::printf("file server  : %llu jobs archived\n",
+              static_cast<unsigned long long>(files->archived()));
+  std::printf("watchdog     : %llu node crash(es) detected\n",
+              static_cast<unsigned long long>(system.recovery().stats().node_crashes_detected));
+
+  const bool ok = a->confirmed() == kJobsPerStation && b->confirmed() == kJobsPerStation &&
+                  printer != nullptr && printer->jobs_printed() == 2 * kJobsPerStation &&
+                  files->archived() == 2 * kJobsPerStation;
+  std::printf("%s\n", ok ? "OFFICE OK" : "OFFICE FAILED");
+  return ok ? 0 : 1;
+}

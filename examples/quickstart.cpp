@@ -1,0 +1,74 @@
+// Quickstart: the smallest complete publishing system.
+//
+// Builds a 2-node cluster with a recorder, runs a ping-pong pair, crashes
+// the server mid-conversation, and shows the transparent recovery: the
+// client never learns anything happened, and the server's state after
+// recovery equals what it would have been without the crash.
+//
+//   $ ./quickstart
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/publishing_system.h"
+#include "tests/test_programs.h"
+
+using namespace publishing;
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  // 1. Configure a 2-node system.  Node 0 is the recorder; nodes 1..2 run
+  //    DEMOS/MP kernels on an Acknowledging Ethernet.
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;  // Keep the example minimal.
+  PublishingSystem system(config);
+
+  // 2. Register deterministic programs ("binary images").  Every node must
+  //    know them so a crashed process can be recreated anywhere.
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(50); });
+
+  // 3. Checkpoint every half second of virtual time (optional — recovery
+  //    also works from the initial image, it just replays more).
+  system.EnableCheckpointPolicy(std::make_unique<FixedIntervalPolicy>(Millis(500)));
+
+  // 4. Spawn an echo server on node 2 and a client on node 1 holding a link
+  //    to it.
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger",
+                                       {Link{*echo, /*channel=*/1, /*code=*/0, 0}});
+
+  // 5. Let the conversation get going, then kill the server.
+  system.RunFor(Millis(150));
+  std::printf("\n--- crashing the echo server %s ---\n\n", ToString(*echo).c_str());
+  system.CrashProcess(*echo);
+
+  // 6. The recovery manager restores it from the last checkpoint and replays
+  //    its published messages; we just keep the clock running.
+  if (!system.RunUntilRecovered(*echo, Seconds(60))) {
+    std::printf("recovery did not complete\n");
+    return 1;
+  }
+  system.RunFor(Seconds(60));
+
+  // 7. Check the outcome.
+  const auto* client = dynamic_cast<const PingerProgram*>(
+      system.cluster().kernel(NodeId{1})->ProgramFor(*pinger));
+  const auto* server = dynamic_cast<const EchoProgram*>(
+      system.cluster().kernel(NodeId{2})->ProgramFor(*echo));
+  std::printf("\nclient: %llu pings sent, %llu pongs received\n",
+              static_cast<unsigned long long>(client->sent()),
+              static_cast<unsigned long long>(client->received()));
+  std::printf("server: %llu pings echoed (exactly once each)\n",
+              static_cast<unsigned long long>(server->echoed()));
+  std::printf("recorder: %llu messages published, %llu checkpoints stored\n",
+              static_cast<unsigned long long>(system.recorder().stats().messages_published),
+              static_cast<unsigned long long>(system.recorder().stats().checkpoints_stored));
+
+  const bool ok = client->received() == 50 && server->echoed() == 50;
+  std::printf("%s\n", ok ? "QUICKSTART OK" : "QUICKSTART FAILED");
+  return ok ? 0 : 1;
+}

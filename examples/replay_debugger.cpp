@@ -1,0 +1,87 @@
+// Time-travel debugging with published messages (§6.5).
+//
+// "A programmer would like some way of backing up a process ... to the point
+// where the problem originally occurred.  Published communications offers
+// this as a side effect."
+//
+// This example runs a small computation, then — entirely offline, without
+// touching the live system — uses the ReplayDebugger to reconstruct the
+// server process at its last checkpoint and single-step it through its
+// published message history, printing the state after every step and every
+// message it would have sent.
+//
+//   $ ./replay_debugger
+
+#include <cstdio>
+
+#include "src/core/publishing_system.h"
+#include "src/core/replay_debugger.h"
+#include "tests/test_programs.h"
+
+using namespace publishing;
+
+int main() {
+  // --- Phase 1: run a live system and capture history ---------------------
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(12); });
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+  system.RunFor(Millis(12));
+  system.cluster().kernel(NodeId{2})->CheckpointProcess(*echo);  // Mid-run checkpoint.
+  system.RunFor(Seconds(30));
+
+  // --- Phase 2: offline post-mortem from the published record -------------
+  std::printf("=== post-mortem debugger for %s ===\n\n", ToString(*echo).c_str());
+
+  auto info = system.storage().Info(*echo);
+  std::printf("program image   : %s\n", info->program.c_str());
+  std::printf("has checkpoint  : %s (subsumes %llu reads)\n",
+              info->has_checkpoint ? "yes" : "no",
+              static_cast<unsigned long long>(info->checkpoint_reads));
+
+  ReplayDebugger debugger(&system.storage(), &system.cluster().registry(), *echo);
+  if (!debugger.Initialize().ok()) {
+    std::printf("cannot initialize debugger\n");
+    return 1;
+  }
+  std::printf("published tail  : %zu messages\n\n", debugger.remaining());
+
+  const auto* state = dynamic_cast<const EchoProgram*>(debugger.program());
+  std::printf("state at checkpoint: echoed=%llu\n\n",
+              static_cast<unsigned long long>(state->echoed()));
+
+  while (!debugger.AtEnd()) {
+    auto step = debugger.Step();
+    if (!step.ok()) {
+      std::printf("step failed: %s\n", step.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("  step %2llu: read %s from %s (%zu bytes, channel %u)\n",
+                static_cast<unsigned long long>(debugger.steps_taken()),
+                ToString(step->id).c_str(), ToString(step->from).c_str(), step->body_bytes,
+                step->channel);
+    for (const DebuggerSend& send : step->sends) {
+      std::printf("      -> would send %zu bytes to %s (channel %u)\n", send.body_bytes,
+                  ToString(send.dest).c_str(), send.channel);
+    }
+    std::printf("      state: echoed=%llu\n",
+                static_cast<unsigned long long>(state->echoed()));
+  }
+
+  // Cross-check the reconstruction against the live process.
+  const auto* live = dynamic_cast<const EchoProgram*>(
+      system.cluster().kernel(NodeId{2})->ProgramFor(*echo));
+  std::printf("\nreconstructed state: echoed=%llu | live process: echoed=%llu\n",
+              static_cast<unsigned long long>(state->echoed()),
+              static_cast<unsigned long long>(live->echoed()));
+  const bool ok = state->echoed() == live->echoed() && debugger.steps_taken() > 0;
+  std::printf("%s\n", ok ? "REPLAY_DEBUGGER OK (offline replay matches live state)"
+                         : "REPLAY_DEBUGGER FAILED");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,235 @@
+// Transactions over published communications (§6.4).
+//
+// "With publishing, the transaction semantics remain the same.  However,
+// there is no need to store intentions and transaction state in stable
+// store.  When a crashed process recovers, its intentions and transaction
+// state will be rebuilt along with the rest of the process state."
+//
+// A coordinator runs two-phase transfers between account servers on
+// different nodes.  Intentions and commit state live ONLY in ordinary
+// process state — no per-node stable storage.  We crash the coordinator in
+// the middle of the stream and one account server too; publishing rebuilds
+// the in-flight transaction and every transfer commits exactly once, with
+// money conserved.
+//
+//   $ ./transactions
+
+#include <cstdio>
+
+#include "src/common/logging.h"
+#include "src/core/publishing_system.h"
+
+using namespace publishing;
+
+namespace {
+
+constexpr uint16_t kAccountChannel = 1;
+constexpr uint16_t kCoordChannel = 2;
+constexpr int64_t kInitialBalance = 1000;
+constexpr uint64_t kTransfers = 20;
+
+enum TxOp : uint8_t { kPrepare = 1, kPrepared = 2, kCommit = 3, kCommitted = 4 };
+
+// Holds one account.  Prepared amounts sit in an intentions list (ordinary
+// state) until commit.
+class AccountProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    if (msg.channel != kAccountChannel) {
+      return;
+    }
+    Reader r(std::span<const uint8_t>(msg.body.data(), msg.body.size()));
+    const uint8_t op = *r.ReadU8();
+    const uint64_t txn = *r.ReadU64();
+    const int64_t amount = *r.ReadI64();
+    switch (static_cast<TxOp>(op)) {
+      case kPrepare: {
+        intentions_[txn] = amount;
+        if (msg.passed_link.IsValid()) {
+          Writer w;
+          w.WriteU8(kPrepared);
+          w.WriteU64(txn);
+          w.WriteI64(amount);
+          api.Send(msg.passed_link, w.TakeBytes());
+        }
+        break;
+      }
+      case kCommit: {
+        auto it = intentions_.find(txn);
+        if (it != intentions_.end()) {
+          balance_ += it->second;
+          ++committed_;
+          intentions_.erase(it);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteI64(balance_);
+    w.WriteU64(committed_);
+    w.WriteU32(static_cast<uint32_t>(intentions_.size()));
+    for (const auto& [txn, amount] : intentions_) {
+      w.WriteU64(txn);
+      w.WriteI64(amount);
+    }
+  }
+  Status LoadState(Reader& r) override {
+    balance_ = *r.ReadI64();
+    committed_ = *r.ReadU64();
+    const uint32_t n = *r.ReadU32();
+    intentions_.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      const uint64_t txn = *r.ReadU64();
+      intentions_[txn] = *r.ReadI64();
+    }
+    return Status::Ok();
+  }
+
+  int64_t balance() const { return balance_; }
+  uint64_t committed() const { return committed_; }
+  size_t pending_intentions() const { return intentions_.size(); }
+
+ private:
+  int64_t balance_ = kInitialBalance;
+  uint64_t committed_ = 0;
+  std::map<uint64_t, int64_t> intentions_;
+};
+
+// Two-phase coordinator.  Initial links: 1 = account A, 2 = account B.
+class CoordinatorProgram : public UserProgram {
+ public:
+  static constexpr uint32_t kAccountA = 1;
+  static constexpr uint32_t kAccountB = 2;
+
+  void OnStart(KernelApi& api) override { BeginNext(api); }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    if (msg.channel != kCoordChannel) {
+      return;
+    }
+    Reader r(std::span<const uint8_t>(msg.body.data(), msg.body.size()));
+    const uint8_t op = *r.ReadU8();
+    const uint64_t txn = *r.ReadU64();
+    if (op != kPrepared || txn != current_txn_) {
+      return;
+    }
+    if (++prepared_votes_ < 2) {
+      return;
+    }
+    // Both sides stored their intentions: commit.
+    for (uint32_t link : {kAccountA, kAccountB}) {
+      Writer w;
+      w.WriteU8(kCommit);
+      w.WriteU64(txn);
+      w.WriteI64(0);
+      api.Send(LinkId{link}, w.TakeBytes());
+    }
+    ++committed_;
+    if (committed_ < kTransfers) {
+      BeginNext(api);
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(current_txn_);
+    w.WriteU64(prepared_votes_);
+    w.WriteU64(committed_);
+  }
+  Status LoadState(Reader& r) override {
+    current_txn_ = *r.ReadU64();
+    prepared_votes_ = *r.ReadU64();
+    committed_ = *r.ReadU64();
+    return Status::Ok();
+  }
+
+  uint64_t committed() const { return committed_; }
+
+ private:
+  void BeginNext(KernelApi& api) {
+    current_txn_ = committed_ + 1;
+    prepared_votes_ = 0;
+    const int64_t amount = 5 + static_cast<int64_t>(current_txn_ % 7);
+    // Debit A, credit B.
+    SendPrepare(api, kAccountA, -amount);
+    SendPrepare(api, kAccountB, amount);
+  }
+
+  void SendPrepare(KernelApi& api, uint32_t link, int64_t amount) {
+    auto reply = api.CreateLink(kCoordChannel, 0);
+    Writer w;
+    w.WriteU8(kPrepare);
+    w.WriteU64(current_txn_);
+    w.WriteI64(amount);
+    api.Send(LinkId{link}, w.TakeBytes(), *reply);
+  }
+
+  uint64_t current_txn_ = 0;
+  uint64_t prepared_votes_ = 0;
+  uint64_t committed_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  SetLogLevel(LogLevel::kInfo);
+
+  PublishingSystemConfig config;
+  config.cluster.node_count = 3;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+  system.EnableCheckpointPolicy(std::make_unique<StorageBalancedPolicy>());
+  auto& registry = system.cluster().registry();
+  registry.Register("account", [] { return std::make_unique<AccountProgram>(); });
+  registry.Register("coordinator", [] { return std::make_unique<CoordinatorProgram>(); });
+
+  auto account_a = system.cluster().Spawn(NodeId{2}, "account");
+  auto account_b = system.cluster().Spawn(NodeId{3}, "account");
+  auto coordinator = system.cluster().Spawn(
+      NodeId{1}, "coordinator",
+      {Link{*account_a, kAccountChannel, 0, 0}, Link{*account_b, kAccountChannel, 0, 0}});
+
+  std::printf("running %llu two-phase transfers A->B, intentions in process state only\n",
+              static_cast<unsigned long long>(kTransfers));
+
+  system.RunFor(Millis(120));
+  std::printf("\n--- crashing the coordinator mid-transaction ---\n");
+  system.CrashProcess(*coordinator);
+  system.RunUntilRecovered(*coordinator, Seconds(120));
+
+  system.RunFor(Millis(150));
+  std::printf("--- crashing account server B ---\n\n");
+  system.CrashProcess(*account_b);
+  system.RunUntilRecovered(*account_b, Seconds(120));
+  system.RunFor(Seconds(300));
+
+  const auto* a = dynamic_cast<const AccountProgram*>(
+      system.cluster().kernel(NodeId{2})->ProgramFor(*account_a));
+  const auto* b = dynamic_cast<const AccountProgram*>(
+      system.cluster().kernel(NodeId{3})->ProgramFor(*account_b));
+  const auto* coord = dynamic_cast<const CoordinatorProgram*>(
+      system.cluster().kernel(NodeId{1})->ProgramFor(*coordinator));
+
+  const int64_t total = a->balance() + b->balance();
+  std::printf("balances: A=%lld  B=%lld  total=%lld (expected %lld)\n",
+              static_cast<long long>(a->balance()), static_cast<long long>(b->balance()),
+              static_cast<long long>(total), static_cast<long long>(2 * kInitialBalance));
+  std::printf("commits : coordinator=%llu  A=%llu  B=%llu  (expected %llu each)\n",
+              static_cast<unsigned long long>(coord->committed()),
+              static_cast<unsigned long long>(a->committed()),
+              static_cast<unsigned long long>(b->committed()),
+              static_cast<unsigned long long>(kTransfers));
+  std::printf("pending intentions after quiesce: A=%zu B=%zu\n", a->pending_intentions(),
+              b->pending_intentions());
+
+  const bool ok = total == 2 * kInitialBalance && coord->committed() == kTransfers &&
+                  a->committed() == kTransfers && b->committed() == kTransfers &&
+                  a->pending_intentions() == 0 && b->pending_intentions() == 0;
+  std::printf("%s\n", ok ? "TRANSACTIONS OK" : "TRANSACTIONS FAILED");
+  return ok ? 0 : 1;
+}

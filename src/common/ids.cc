@@ -1,0 +1,26 @@
+#include "src/common/ids.h"
+
+#include <cstdio>
+
+namespace publishing {
+
+std::string ToString(NodeId id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "node%u", id.value);
+  return buf;
+}
+
+std::string ToString(const ProcessId& id) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "pid(%u.%u)", id.origin.value, id.local);
+  return buf;
+}
+
+std::string ToString(const MessageId& id) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "msg(%u.%u#%llu)", id.sender.origin.value, id.sender.local,
+                static_cast<unsigned long long>(id.sequence));
+  return buf;
+}
+
+}  // namespace publishing

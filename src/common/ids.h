@@ -1,0 +1,91 @@
+// Identifier types shared across the publishing system.
+//
+// The paper (§4.3.1) makes process identifiers unique network-wide by
+// appending the identifier of the creating processor to the processor-local
+// id.  Message identifiers (§4.3.3) are the pair (sending process id,
+// per-process send sequence number); the sequence number increases by one for
+// every message the process sends, which is what lets the recorder and the
+// kernels suppress duplicate sends during recovery.
+
+#ifndef SRC_COMMON_IDS_H_
+#define SRC_COMMON_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace publishing {
+
+// Identifies a processing node (a processor attached to the network).
+// Node 0 is conventionally the recorder in single-recorder configurations.
+struct NodeId {
+  uint32_t value = 0;
+
+  friend bool operator==(const NodeId&, const NodeId&) = default;
+  friend auto operator<=>(const NodeId&, const NodeId&) = default;
+};
+
+// Network-wide unique process identifier: (creating node, local id).
+// The local id is never reused by a node, so the pair is unique for the
+// lifetime of the system even across process migration (§4.3.1).
+struct ProcessId {
+  NodeId origin;         // Node on which the process was created.
+  uint32_t local = 0;    // Creating node's local sequence number.
+
+  bool IsValid() const { return local != 0; }
+
+  friend bool operator==(const ProcessId&, const ProcessId&) = default;
+  friend auto operator<=>(const ProcessId&, const ProcessId&) = default;
+};
+
+// Globally unique message identifier: (sender, per-sender sequence number).
+// Sequence numbers start at 1; 0 means "no message".
+struct MessageId {
+  ProcessId sender;
+  uint64_t sequence = 0;
+
+  bool IsValid() const { return sequence != 0; }
+
+  friend bool operator==(const MessageId&, const MessageId&) = default;
+  friend auto operator<=>(const MessageId&, const MessageId&) = default;
+};
+
+// Process-local index into a link table (§4.2.2.1).
+struct LinkId {
+  uint32_t value = 0;
+
+  bool IsValid() const { return value != 0; }
+
+  friend bool operator==(const LinkId&, const LinkId&) = default;
+  friend auto operator<=>(const LinkId&, const LinkId&) = default;
+};
+
+std::string ToString(NodeId id);
+std::string ToString(const ProcessId& id);
+std::string ToString(const MessageId& id);
+
+}  // namespace publishing
+
+template <>
+struct std::hash<publishing::NodeId> {
+  size_t operator()(const publishing::NodeId& id) const noexcept {
+    return std::hash<uint32_t>{}(id.value);
+  }
+};
+
+template <>
+struct std::hash<publishing::ProcessId> {
+  size_t operator()(const publishing::ProcessId& id) const noexcept {
+    return std::hash<uint64_t>{}((uint64_t{id.origin.value} << 32) | id.local);
+  }
+};
+
+template <>
+struct std::hash<publishing::MessageId> {
+  size_t operator()(const publishing::MessageId& id) const noexcept {
+    size_t h = std::hash<publishing::ProcessId>{}(id.sender);
+    return h ^ (std::hash<uint64_t>{}(id.sequence) + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2));
+  }
+};
+
+#endif  // SRC_COMMON_IDS_H_

@@ -1,0 +1,34 @@
+// Minimal leveled logging.  Quiet by default so tests and benches stay clean;
+// examples turn on kInfo to narrate crash/recovery sequences.
+
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <cstdarg>
+
+namespace publishing {
+
+enum class LogLevel {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarning = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// printf-style logging; drops the record if `level` is below the global one.
+void Logf(LogLevel level, const char* format, ...) __attribute__((format(printf, 2, 3)));
+
+#define PUB_LOG_TRACE(...) ::publishing::Logf(::publishing::LogLevel::kTrace, __VA_ARGS__)
+#define PUB_LOG_DEBUG(...) ::publishing::Logf(::publishing::LogLevel::kDebug, __VA_ARGS__)
+#define PUB_LOG_INFO(...) ::publishing::Logf(::publishing::LogLevel::kInfo, __VA_ARGS__)
+#define PUB_LOG_WARN(...) ::publishing::Logf(::publishing::LogLevel::kWarning, __VA_ARGS__)
+#define PUB_LOG_ERROR(...) ::publishing::Logf(::publishing::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace publishing
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,89 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic element of the simulation (message inter-arrival times,
+// fault-injection schedules, queuing-model service sampling) draws from an
+// explicitly seeded generator so that a whole-system run is reproducible —
+// the same property the paper requires of recoverable processes
+// ("deterministic upon their input interactions", §1.1.1) is required of our
+// test harness so crash/recovery runs can be compared bit-for-bit against
+// crash-free runs.
+
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace publishing {
+
+// xoshiro256** seeded via splitmix64.  Small, fast, and fully deterministic
+// across platforms (unlike std::mt19937 + std::distributions, whose outputs
+// may differ between standard libraries).
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the 4-word state.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound).  bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      uint64_t r = NextU64();
+      if (r >= threshold) {
+        return r % bound;
+      }
+    }
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() { return static_cast<double>(NextU64() >> 11) * 0x1.0p-53; }
+
+  // Exponentially distributed with the given mean (> 0).  Used for Poisson
+  // arrival processes in the Chapter 5 queuing model.
+  double NextExponential(double mean) {
+    double u = NextDouble();
+    // Guard against log(0).
+    if (u <= 0.0) {
+      u = 0x1.0p-53;
+    }
+    return -mean * std::log(u);
+  }
+
+  // True with probability p (clamped to [0,1]).
+  bool NextBernoulli(double p) { return NextDouble() < p; }
+
+  // Forks an independent child stream; children of the same parent with
+  // different salts are decorrelated.
+  Rng Fork(uint64_t salt) { return Rng(NextU64() ^ (salt * 0x9E3779B97F4A7C15ull)); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+};
+
+}  // namespace publishing
+
+#endif  // SRC_COMMON_RNG_H_

@@ -1,0 +1,97 @@
+// Lightweight error-handling vocabulary used throughout the library.
+//
+// Kernel calls in DEMOS return condition codes to the caller (§4.4.3); we
+// model that with a small Status type rather than exceptions so that the
+// deterministic-replay property of user programs is easy to preserve (a
+// Status is part of the visible interaction, an exception unwinding path is
+// not).
+
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace publishing {
+
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // Named object (link, process, file) does not exist.
+  kAlreadyExists,     // Creation collided with an existing object.
+  kInvalidArgument,   // Malformed request.
+  kPermissionDenied,  // Caller lacks the required link/capability.
+  kUnavailable,       // Target exists but cannot serve now (e.g. recovering).
+  kExhausted,         // Out of table slots, buffer space, or disk pages.
+  kCorrupt,           // Checksum or format validation failed.
+  kWouldBlock,        // Non-blocking receive found no eligible message.
+  kInternal,          // Invariant violation inside the system itself.
+};
+
+const char* StatusCodeName(StatusCode code);
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message) : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) { return a.code_ == b.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+// A value-or-error holder in the spirit of std::expected (kept minimal so the
+// library builds with any C++20 standard library).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}                       // NOLINT(runtime/explicit)
+  Result(Status status) : state_(std::move(status)) {                 // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(state_).ok() && "Result built from OK status needs a value");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(state_));
+  }
+
+  Status status() const {
+    if (ok()) {
+      return Status::Ok();
+    }
+    return std::get<Status>(state_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_COMMON_STATUS_H_

@@ -1,0 +1,55 @@
+#include "src/core/checkpoint_policy.h"
+
+namespace publishing {
+
+CheckpointScheduler::CheckpointScheduler(Cluster* cluster, Recorder* recorder,
+                                         std::unique_ptr<CheckpointPolicy> policy,
+                                         SimDuration poll_period)
+    : cluster_(cluster),
+      recorder_(recorder),
+      policy_(std::move(policy)),
+      poll_period_(poll_period) {
+  task_ = std::make_unique<PeriodicTask>(&cluster_->sim(), poll_period_, [this] { Poll(); });
+}
+
+CheckpointScheduler::~CheckpointScheduler() = default;
+
+void CheckpointScheduler::Start() { task_->Start(); }
+
+void CheckpointScheduler::Stop() { task_->Stop(); }
+
+void CheckpointScheduler::Poll() {
+  if (recorder_->down()) {
+    return;  // Checkpoints could not be stored anyway.
+  }
+  ++stats_.polls;
+  const SimTime now = cluster_->sim().Now();
+  for (NodeId node : cluster_->node_ids()) {
+    NodeKernel* kernel = cluster_->kernel(node);
+    if (kernel == nullptr || !kernel->node_up()) {
+      continue;
+    }
+    for (const ProcessId& pid : kernel->LiveProcesses()) {
+      auto info = recorder_->storage().Info(pid);
+      if (!info.ok() || info->destroyed) {
+        continue;
+      }
+      CheckpointContext context;
+      context.pid = pid;
+      context.now = now;
+      context.last_checkpoint = last_checkpoint_[pid];
+      context.log_bytes = info->log_bytes;
+      context.checkpoint_bytes = info->checkpoint_bytes;
+      context.messages_since = info->log_entries;
+      if (!policy_->ShouldCheckpoint(context)) {
+        continue;
+      }
+      if (kernel->CheckpointProcess(pid).ok()) {
+        last_checkpoint_[pid] = now;
+        ++stats_.checkpoints_requested;
+      }
+    }
+  }
+}
+
+}  // namespace publishing

@@ -1,0 +1,147 @@
+// Checkpoint policies and the scheduler that applies them (§3.2.3, §3.2.4,
+// §5.1).
+//
+// Publishing allows checkpoint frequency to be chosen per process; these are
+// the policies the thesis discusses:
+//   * FixedInterval   — baseline.
+//   * Young           — interval = sqrt(2 * T_save * T_mtbf) (§3.2.4).
+//   * StorageBalanced — checkpoint when published-message storage exceeds
+//                       the checkpoint size, the policy the queuing study
+//                       used (§5.1: "this policy tries to balance the cost
+//                       of doing a checkpoint for a process against the disk
+//                       space required for published message storage").
+//   * RecoveryBound   — checkpoint whenever the §3.2.3 t_max estimate
+//                       exceeds a per-process recovery-time budget.
+//
+// The scheduler polls every `poll_period` and asks the policy, per live
+// process, whether to checkpoint now.  Policies see the recorder's stable
+// storage for sizes and the recovery-time model for bounds.
+
+#ifndef SRC_CORE_CHECKPOINT_POLICY_H_
+#define SRC_CORE_CHECKPOINT_POLICY_H_
+
+#include <map>
+#include <memory>
+
+#include "src/core/recorder.h"
+#include "src/core/recovery_time_model.h"
+#include "src/demos/cluster.h"
+
+namespace publishing {
+
+// Per-process view a policy decides from.
+struct CheckpointContext {
+  ProcessId pid;
+  SimTime now = 0;
+  SimTime last_checkpoint = 0;       // 0 = never checkpointed.
+  size_t log_bytes = 0;              // Published bytes held for this process.
+  size_t checkpoint_bytes = 0;       // Size of the last checkpoint (0 first).
+  uint64_t messages_since = 0;       // Log entries since last checkpoint.
+};
+
+class CheckpointPolicy {
+ public:
+  virtual ~CheckpointPolicy() = default;
+
+  virtual const char* name() const = 0;
+  virtual bool ShouldCheckpoint(const CheckpointContext& context) const = 0;
+};
+
+class FixedIntervalPolicy : public CheckpointPolicy {
+ public:
+  explicit FixedIntervalPolicy(SimDuration interval) : interval_(interval) {}
+
+  const char* name() const override { return "fixed-interval"; }
+  bool ShouldCheckpoint(const CheckpointContext& context) const override {
+    return context.now - context.last_checkpoint >= interval_;
+  }
+
+ private:
+  SimDuration interval_;
+};
+
+class YoungPolicy : public CheckpointPolicy {
+ public:
+  YoungPolicy(SimDuration save_time, SimDuration mtbf)
+      : interval_(YoungOptimalInterval(save_time, mtbf)) {}
+
+  const char* name() const override { return "young"; }
+  SimDuration interval() const { return interval_; }
+  bool ShouldCheckpoint(const CheckpointContext& context) const override {
+    return context.now - context.last_checkpoint >= interval_;
+  }
+
+ private:
+  SimDuration interval_;
+};
+
+class StorageBalancedPolicy : public CheckpointPolicy {
+ public:
+  const char* name() const override { return "storage-balanced"; }
+  bool ShouldCheckpoint(const CheckpointContext& context) const override {
+    // First checkpoint: wait until something was published.
+    size_t state_size = context.checkpoint_bytes == 0 ? 1024 : context.checkpoint_bytes;
+    return context.log_bytes > state_size;
+  }
+};
+
+class RecoveryBoundPolicy : public CheckpointPolicy {
+ public:
+  RecoveryBoundPolicy(SimDuration bound, RecoveryTimeParams params)
+      : bound_(bound), params_(params) {}
+
+  const char* name() const override { return "recovery-bound"; }
+  bool ShouldCheckpoint(const CheckpointContext& context) const override {
+    RecoveryTimeModel model(params_);
+    uint64_t pages =
+        (context.checkpoint_bytes + StableStorage::kPageBytes - 1) / StableStorage::kPageBytes;
+    model.OnCheckpoint(pages == 0 ? 1 : pages, context.last_checkpoint);
+    // Approximate per-message byte volume from the aggregate.
+    for (uint64_t i = 0; i < context.messages_since; ++i) {
+      model.OnMessage(context.messages_since == 0
+                          ? 0
+                          : context.log_bytes / context.messages_since);
+    }
+    return model.MaxRecoveryTime(context.now) > bound_;
+  }
+
+ private:
+  SimDuration bound_;
+  RecoveryTimeParams params_;
+};
+
+struct CheckpointSchedulerStats {
+  uint64_t checkpoints_requested = 0;
+  uint64_t polls = 0;
+};
+
+// Polls live processes and checkpoints them per the policy.  Transparent to
+// the processes themselves (§3.2.2): capture happens in the kernel.
+class CheckpointScheduler {
+ public:
+  CheckpointScheduler(Cluster* cluster, Recorder* recorder,
+                      std::unique_ptr<CheckpointPolicy> policy, SimDuration poll_period);
+  ~CheckpointScheduler();
+
+  void Start();
+  void Stop();
+
+  const CheckpointSchedulerStats& stats() const { return stats_; }
+  const CheckpointPolicy& policy() const { return *policy_; }
+
+ private:
+  void Poll();
+
+  Cluster* cluster_;
+  Recorder* recorder_;
+  std::unique_ptr<CheckpointPolicy> policy_;
+  SimDuration poll_period_;
+  std::unique_ptr<PeriodicTask> task_;
+  std::map<ProcessId, SimTime> last_checkpoint_;
+  std::map<ProcessId, uint64_t> last_message_count_;
+  CheckpointSchedulerStats stats_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_CHECKPOINT_POLICY_H_

@@ -1,0 +1,99 @@
+#include "src/core/publishing_system.h"
+
+namespace publishing {
+
+PublishingSystem::PublishingSystem(PublishingSystemConfig config) : config_(std::move(config)) {
+  // The recorder and its traffic live on node 0 (Cluster::kRecorderNode).
+  config_.recorder.node = Cluster::kRecorderNode;
+  config_.cluster.kernel.recorder_node = Cluster::kRecorderNode;
+  if (config_.node_unit_mode) {
+    config_.cluster.kernel.node_unit_mode = true;
+    config_.recorder.node_unit = true;
+    config_.recovery.node_unit = true;
+  }
+
+  // Defer the system-process boot until the recorder listens, so their
+  // creation notices and messages are published too.
+  const bool boot_system = config_.cluster.start_system_processes;
+  config_.cluster.start_system_processes = false;
+
+  cluster_ = std::make_unique<Cluster>(config_.cluster);
+  recorder_ = std::make_unique<Recorder>(&cluster_->sim(), &cluster_->medium(),
+                                         &cluster_->names(), &storage_, config_.recorder);
+  for (NodeId node : cluster_->node_ids()) {
+    cluster_->kernel(node)->set_read_order_feed(recorder_.get());
+  }
+  recovery_ = std::make_unique<RecoveryManager>(cluster_.get(), recorder_.get(),
+                                                config_.recovery);
+  if (config_.start_recovery_manager) {
+    recovery_->Start();
+  }
+  if (boot_system) {
+    cluster_->BootSystemProcesses();
+  }
+}
+
+PublishingSystem::~PublishingSystem() = default;
+
+void PublishingSystem::EnableCheckpointPolicy(std::unique_ptr<CheckpointPolicy> policy,
+                                              SimDuration poll_period) {
+  checkpoint_scheduler_ = std::make_unique<CheckpointScheduler>(
+      cluster_.get(), recorder_.get(), std::move(policy), poll_period);
+  checkpoint_scheduler_->Start();
+}
+
+void PublishingSystem::EnableNodeCheckpointInterval(SimDuration period) {
+  node_checkpoint_task_ = std::make_unique<PeriodicTask>(&sim(), period, [this] {
+    if (recorder_->down()) {
+      return;
+    }
+    for (NodeId node : cluster_->node_ids()) {
+      NodeKernel* kernel = cluster_->kernel(node);
+      if (kernel != nullptr && kernel->node_up() && !kernel->node_recovering()) {
+        kernel->CheckpointNode();  // kUnavailable mid-handler: retry next tick.
+      }
+    }
+  });
+  node_checkpoint_task_->Start();
+}
+
+Status PublishingSystem::CrashProcess(const ProcessId& pid) {
+  auto location = cluster_->names().Locate(pid);
+  if (!location.ok()) {
+    return location.status();
+  }
+  NodeKernel* kernel = cluster_->kernel(*location);
+  if (kernel == nullptr) {
+    return Status(StatusCode::kNotFound, "process is not on a processing node");
+  }
+  return kernel->CrashProcess(pid);
+}
+
+Status PublishingSystem::CrashNode(NodeId node) {
+  NodeKernel* kernel = cluster_->kernel(node);
+  if (kernel == nullptr) {
+    return Status(StatusCode::kNotFound, "no such node");
+  }
+  kernel->CrashNode();
+  return Status::Ok();
+}
+
+bool PublishingSystem::RunUntilRecovered(const ProcessId& pid, SimDuration deadline) {
+  bool done = false;
+  auto previous = [this] { return recovery_.get(); }();
+  previous->set_recovery_done_callback([&done, pid](const ProcessId& recovered) {
+    if (recovered == pid) {
+      done = true;
+    }
+  });
+  const SimTime limit = sim().Now() + deadline;
+  while (!done && sim().Now() < limit) {
+    if (!sim().Step()) {
+      break;
+    }
+  }
+  previous->set_recovery_done_callback(nullptr);
+  return done;
+}
+
+}  // namespace publishing

@@ -1,0 +1,85 @@
+// Multiple recorders for reliability (§6.3).
+//
+// "Network availability can be increased by providing multiple recorders.
+// During normal operation, all recorders record all messages.  If there are
+// n recorders, n-1 can fail before the network becomes unavailable."
+//
+// The group attaches to the medium as the single promiscuous listener and
+// fans each frame out to every functioning member; a frame counts as
+// published only when every *functioning* member recorded it (the surviving
+// recorders "supply the acknowledges" for failed ones).  If every member is
+// down, all frames are vetoed and the network suspends, exactly as in the
+// single-recorder case.
+//
+// Recovery coordination uses per-node priority vectors V_i: the highest-
+// priority functioning member recovers node i; lower-priority members defer
+// and periodically re-check, taking over if the responsible recorder fails
+// mid-recovery (RecoveryManager::RecheckTakeover).
+//
+// A restarted member's log misses the messages sent while it was down; per
+// §6.3 it becomes fully current again as processes naturally checkpoint
+// ("eventually, all the processes will naturally checkpoint or be forced
+// to"), since checkpoint notices are overheard and subsume the missed tail.
+
+#ifndef SRC_CORE_RECORDER_GROUP_H_
+#define SRC_CORE_RECORDER_GROUP_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/core/recorder.h"
+#include "src/core/recovery_manager.h"
+#include "src/demos/cluster.h"
+
+namespace publishing {
+
+class RecorderGroup : public PromiscuousListener, public ReadOrderFeed {
+ public:
+  // Members get endpoints on node 0 (primary — the address kernels send
+  // notices and checkpoints to) and nodes 1000+i (secondaries, which
+  // overhear notices promiscuously instead).
+  RecorderGroup(Cluster* cluster, size_t member_count, RecoveryManagerOptions recovery_options);
+  ~RecorderGroup() override;
+
+  RecorderGroup(const RecorderGroup&) = delete;
+  RecorderGroup& operator=(const RecorderGroup&) = delete;
+
+  // PromiscuousListener.
+  bool OnWireFrame(const Frame& frame) override;
+  // ReadOrderFeed: fan out to functioning members.
+  void OnMessageRead(const ProcessId& reader, const MessageId& id) override;
+
+  // Priority vector for `node` (§6.3): member indices, highest priority
+  // first.  Defaults to {0, 1, ..., n-1} for every node.
+  void SetPriorityVector(NodeId node, std::vector<size_t> order);
+
+  // Index of the highest-priority functioning member for `node`.
+  Result<size_t> ResponsibleFor(NodeId node) const;
+
+  void CrashRecorder(size_t index);
+  void RestartRecorder(size_t index);
+  bool AllDown() const;
+
+  size_t size() const { return members_.size(); }
+  Recorder& recorder(size_t index) { return *members_[index]->recorder; }
+  RecoveryManager& manager(size_t index) { return *members_[index]->manager; }
+  StableStorage& storage(size_t index) { return *members_[index]->storage; }
+
+ private:
+  struct Member {
+    std::unique_ptr<StableStorage> storage;
+    std::unique_ptr<Recorder> recorder;
+    std::unique_ptr<RecoveryManager> manager;
+  };
+
+  std::vector<size_t> PriorityFor(NodeId node) const;
+
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<Member>> members_;
+  std::map<NodeId, std::vector<size_t>> priority_vectors_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_RECORDER_GROUP_H_

@@ -1,0 +1,460 @@
+#include "src/core/recovery_manager.h"
+
+#include "src/common/logging.h"
+
+namespace publishing {
+
+namespace {
+// The recovery manager's own network identity on the recording node.
+constexpr uint32_t kManagerLocalId = 2;
+}  // namespace
+
+RecoveryManager::RecoveryManager(Cluster* cluster, Recorder* recorder,
+                                 RecoveryManagerOptions options)
+    : cluster_(cluster), recorder_(recorder), options_(options), sim_(&cluster->sim()) {}
+
+RecoveryManager::~RecoveryManager() = default;
+
+void RecoveryManager::Start() {
+  ProcessId manager{recorder_->node(), kManagerLocalId};
+  cluster_->names().SetLocation(manager, recorder_->node());
+
+  recorder_->set_crash_notice_handler(
+      [this](const ProcessId& pid) { OnProcessCrashNotice(pid); });
+  recorder_->set_restart_handler([this](uint64_t n) { OnRecorderRestart(n); });
+  recorder_->set_packet_handler([this](const Packet& packet) { return HandlePacket(packet); });
+
+  // One watch process per processing node (§4.6).
+  for (NodeId node : cluster_->node_ids()) {
+    NodeWatch watch;
+    watch.last_pong = sim_->Now();
+    watch.task = std::make_unique<PeriodicTask>(sim_, options_.watchdog_period,
+                                                [this, node] { WatchdogTick(node); });
+    watch.task->Start();
+    watches_[node] = std::move(watch);
+  }
+}
+
+uint64_t RecoveryManager::seq_for(const ProcessId& rproc) { return ++rproc_seqs_[rproc]; }
+
+void RecoveryManager::SendFromRecoveryPid(const ProcessId& rproc, const ProcessId& dst,
+                                          Bytes body) {
+  auto location = cluster_->names().Locate(dst);
+  if (!location.ok()) {
+    return;
+  }
+  Packet packet;
+  packet.header.id = MessageId{rproc, seq_for(rproc)};
+  packet.header.src_process = rproc;
+  packet.header.dst_process = dst;
+  packet.header.src_node = recorder_->node();
+  packet.header.dst_node = *location;
+  packet.header.flags = kFlagGuaranteed | kFlagControl;
+  packet.body = std::move(body);
+  recorder_->endpoint().Send(std::move(packet));
+}
+
+// ---------------------------------------------------------------------------
+// Watchdogs (§4.6)
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::WatchdogTick(NodeId node) {
+  NodeWatch& watch = watches_[node];
+  if (recorder_->down()) {
+    // No traffic flows while the recorder is down; suspend judgement.
+    watch.last_pong = sim_->Now();
+    return;
+  }
+  if (!watch.declared_down && sim_->Now() - watch.last_pong > options_.watchdog_timeout) {
+    DeclareNodeCrashed(node);
+    return;
+  }
+  // "Are you alive?" — unguaranteed control traffic; losses are tolerated
+  // because the next period asks again.
+  ProcessId manager{recorder_->node(), kManagerLocalId};
+  ProcessId kernel{node, NodeKernel::kKernelLocalId};
+  auto location = cluster_->names().Locate(kernel);
+  if (!location.ok()) {
+    return;
+  }
+  Packet packet;
+  packet.header.id = MessageId{manager, seq_for(manager)};
+  packet.header.src_process = manager;
+  packet.header.dst_process = kernel;
+  packet.header.src_node = recorder_->node();
+  packet.header.dst_node = *location;
+  packet.header.flags = kFlagControl;
+  packet.body = EncodePing(KernelOp::kPing, {++watch.ping_nonce});
+  recorder_->endpoint().Send(std::move(packet));
+}
+
+void RecoveryManager::HandlePong(NodeId node) {
+  auto it = watches_.find(node);
+  if (it == watches_.end()) {
+    return;
+  }
+  it->second.last_pong = sim_->Now();
+  it->second.declared_down = false;
+}
+
+void RecoveryManager::DeclareNodeCrashed(NodeId node) {
+  NodeWatch& watch = watches_[node];
+  watch.declared_down = true;
+  ++stats_.node_crashes_detected;
+  if (responsibility_ && !responsibility_(node)) {
+    // A higher-priority recorder owns this node.  "If P_i does not recover
+    // in a set interval, R periodically requeries its higher priority nodes
+    // to see if they are willing to recover" (§6.3) — re-check later and
+    // take over if responsibility has shifted to us.
+    PUB_LOG_INFO("recovery: node %u crashed; deferring to higher-priority recorder",
+                 node.value);
+    RecheckTakeover(node);
+    return;
+  }
+  PUB_LOG_INFO("recovery: node %u declared crashed", node.value);
+  TriggerNodeRecovery(node);
+}
+
+void RecoveryManager::RecheckTakeover(NodeId node) {
+  sim_->ScheduleAfter(options_.takeover_recheck, [this, node] {
+    NodeWatch& watch = watches_[node];
+    if (!watch.declared_down || recorder_->down()) {
+      return;  // Recovered in the meantime (or we cannot act).
+    }
+    if (!responsibility_ || responsibility_(node)) {
+      PUB_LOG_INFO("recovery: taking over recovery of node %u", node.value);
+      TriggerNodeRecovery(node);
+    } else {
+      RecheckTakeover(node);  // Still someone else's job; keep watching.
+    }
+  });
+}
+
+void RecoveryManager::TriggerNodeRecovery(NodeId node) {
+  NodeId target;
+  switch (options_.node_policy) {
+    case NodeRecoveryPolicy::kIgnore:
+      return;
+    case NodeRecoveryPolicy::kRestartSameNode: {
+      NodeKernel* kernel = cluster_->kernel(node);
+      if (kernel == nullptr) {
+        return;
+      }
+      if (!kernel->node_up()) {
+        kernel->RestartNode();  // Operator power-cycles the processor.
+      }
+      target = node;
+      break;
+    }
+    case NodeRecoveryPolicy::kMigrateToSpare:
+      target = options_.spare_node;
+      if (cluster_->kernel(target) == nullptr) {
+        PUB_LOG_ERROR("recovery: spare node %u missing", target.value);
+        return;
+      }
+      break;
+  }
+
+  if (options_.node_unit) {
+    StartNodeRecovery(target);
+    return;
+  }
+
+  // Make sure the (re)started node never reuses ids the dead incarnation
+  // consumed (§4.7 / DESIGN.md).
+  ProcessId manager{recorder_->node(), kManagerLocalId};
+  LocalIdFloor floor;
+  floor.floor = recorder_->storage().LocalIdHighWater(target);
+  floor.kernel_seq_floor = recorder_->storage().LastSent(
+                               ProcessId{target, NodeKernel::kKernelLocalId}) +
+                           (uint64_t{1} << 20);
+  SendFromRecoveryPid(manager, ProcessId{target, NodeKernel::kKernelLocalId},
+                      EncodeLocalIdFloor(floor));
+
+  for (const ProcessId& pid : recorder_->storage().ProcessesOnNode(node)) {
+    StartRecovery(pid, target);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Process recovery (§3.3.3, §4.7)
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::OnProcessCrashNotice(const ProcessId& pid) {
+  if (responsibility_) {
+    auto info = recorder_->storage().Info(pid);
+    if (info.ok() && !responsibility_(info->home_node)) {
+      return;  // Another recorder owns this process's node (§6.3).
+    }
+  }
+  if (options_.node_unit) {
+    // §1.1.2: "the system is permitted to 'round up' any system fault to a
+    // crash of all the processes affected" — in node-unit mode a process
+    // fault becomes a node recovery.
+    auto location = cluster_->names().Locate(pid);
+    if (location.ok()) {
+      TriggerNodeRecovery(*location);
+    }
+    return;
+  }
+  auto it = recoveries_.find(pid);
+  NodeId target;
+  if (it != recoveries_.end()) {
+    // Recursive crash of a recovering process (§3.5): terminate the old
+    // recovery process and start a fresh one.
+    ++stats_.recursive_recoveries;
+    target = it->second.node;
+    recoveries_.erase(it);
+  } else {
+    auto info = recorder_->storage().Info(pid);
+    if (!info.ok() || info->destroyed || info->program.empty()) {
+      return;
+    }
+    target = info->home_node;
+  }
+  StartRecovery(pid, target);
+}
+
+void RecoveryManager::StartRecovery(const ProcessId& pid, NodeId target_node) {
+  if (recoveries_.contains(pid)) {
+    return;
+  }
+  auto info = recorder_->storage().Info(pid);
+  if (!info.ok() || info->destroyed || info->program.empty() || !info->recoverable) {
+    return;
+  }
+  RecoveryProcess rp;
+  rp.target = pid;
+  rp.rproc = ProcessId{recorder_->node(), next_rproc_local_++};
+  rp.node = target_node;
+  rp.round = next_round_++;
+  cluster_->names().SetLocation(rp.rproc, recorder_->node());
+
+  RecreateRequest req;
+  req.pid = pid;
+  req.program = info->program;
+  req.last_sent_seq = recorder_->storage().LastSent(pid);
+  req.recovery_round = rp.round;
+  auto checkpoint = recorder_->storage().LoadCheckpoint(pid);
+  if (checkpoint.ok()) {
+    req.has_checkpoint = true;
+    req.checkpoint_state = std::move(*checkpoint);
+  } else {
+    req.initial_links = info->initial_links;
+  }
+
+  ++stats_.process_recoveries_started;
+  PUB_LOG_INFO("recovery: recovering %s on node %u (round %llu)", ToString(pid).c_str(),
+               target_node.value, static_cast<unsigned long long>(rp.round));
+  SendFromRecoveryPid(rp.rproc, ProcessId{target_node, NodeKernel::kKernelLocalId},
+                      EncodeRecreateRequest(req));
+  recoveries_[pid] = std::move(rp);
+}
+
+void RecoveryManager::BeginReplay(RecoveryProcess& rp) {
+  recorder_->storage().SetHomeNode(rp.target, rp.node);
+  // Snapshot the log only now, after the kernel has acknowledged the
+  // recreate.  Every message the crashed/recreating process failed to accept
+  // was necessarily published (the tap precedes delivery) and delivered —
+  // hence dropped — before the kernel processed the recreate request, so a
+  // snapshot taken after the recreate-ack provably contains all of them.
+  // Anything logged later is being held in the kernel's pending-live queue
+  // and gets released (minus replayed ids) at recovery completion.
+  rp.replay = recorder_->storage().ReplayList(rp.target);
+  // Inject every published message, flagged as replay so the duplicate cache
+  // lets it through (§4.7).  The transport's one-outstanding-per-node rule
+  // keeps these — and the completion that follows — in order.
+  for (const LogEntry& entry : rp.replay) {
+    auto packet = ParsePacket(entry.packet);
+    if (!packet.ok()) {
+      PUB_LOG_ERROR("recovery: corrupt log entry for %s", ToString(rp.target).c_str());
+      continue;
+    }
+    packet->header.flags |= kFlagReplay | kFlagGuaranteed;
+    packet->header.dst_node = rp.node;
+    recorder_->endpoint().Send(std::move(*packet));
+  }
+  SendFromRecoveryPid(rp.rproc, ProcessId{rp.node, NodeKernel::kKernelLocalId},
+                      EncodeRecoveryTarget(KernelOp::kRecoveryComplete, {rp.target, rp.round}));
+  rp.phase = Phase::kAwaitCompleteAck;
+}
+
+// ---------------------------------------------------------------------------
+// Node-unit recovery (§6.6.2)
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::StartNodeRecovery(NodeId node) {
+  if (node_recoveries_.contains(node)) {
+    return;
+  }
+  NodeRecovery nr;
+  nr.node = node;
+  nr.rproc = ProcessId{recorder_->node(), next_rproc_local_++};
+  nr.round = next_round_++;
+  cluster_->names().SetLocation(nr.rproc, recorder_->node());
+
+  RestoreNodeRequest req;
+  req.node = node;
+  req.recovery_round = nr.round;
+  auto checkpoint = recorder_->storage().LoadNodeCheckpoint(node);
+  if (checkpoint.ok()) {
+    req.has_image = true;
+    req.image = std::move(checkpoint->image);
+  }
+  for (const ProcessId& pid : recorder_->storage().ProcessesOnNode(node)) {
+    req.last_sent.emplace_back(pid, recorder_->storage().LastSent(pid));
+  }
+  // The kernel process's own watermark rides along too: the restored kernel
+  // must not reuse message ids its dead incarnation already consumed (they
+  // sit in peers' duplicate caches).
+  ProcessId kernel_pid{node, NodeKernel::kKernelLocalId};
+  req.last_sent.emplace_back(kernel_pid, recorder_->storage().LastSent(kernel_pid));
+  ++stats_.process_recoveries_started;
+  PUB_LOG_INFO("recovery: node-unit recovery of node %u (round %llu, image: %s)", node.value,
+               static_cast<unsigned long long>(nr.round), req.has_image ? "yes" : "none");
+  SendFromRecoveryPid(nr.rproc, ProcessId{node, NodeKernel::kKernelLocalId},
+                      EncodeRestoreNodeRequest(req));
+  node_recoveries_[node] = std::move(nr);
+}
+
+void RecoveryManager::BeginNodeReplay(NodeRecovery& nr) {
+  // Snapshot after the restore-ack, for the same reason BeginReplay does.
+  for (const StableStorage::NodeLogEntry& entry :
+       recorder_->storage().NodeReplayList(nr.node)) {
+    NodeReplayMessage msg;
+    msg.step = entry.step;
+    msg.packet = entry.packet;
+    SendFromRecoveryPid(nr.rproc, ProcessId{nr.node, NodeKernel::kKernelLocalId},
+                        EncodeNodeReplayMessage(msg));
+  }
+  SendFromRecoveryPid(
+      nr.rproc, ProcessId{nr.node, NodeKernel::kKernelLocalId},
+      EncodeNodeRecoveryRound(KernelOp::kNodeRecoveryComplete, {nr.node, nr.round}));
+  nr.phase = Phase::kAwaitCompleteAck;
+}
+
+// ---------------------------------------------------------------------------
+// Inbound packets
+// ---------------------------------------------------------------------------
+
+bool RecoveryManager::HandlePacket(const Packet& packet) {
+  switch (PeekOp(packet.body)) {
+    case KernelOp::kPong:
+      HandlePong(packet.header.src_node);
+      return true;
+    case KernelOp::kRecreateAck: {
+      auto target = DecodeRecoveryTarget(packet.body);
+      if (!target.ok()) {
+        return true;
+      }
+      auto it = recoveries_.find(target->pid);
+      if (it != recoveries_.end() && it->second.round == target->recovery_round &&
+          it->second.phase == Phase::kAwaitRecreateAck) {
+        BeginReplay(it->second);
+      }
+      return true;
+    }
+    case KernelOp::kRecoveryCompleteAck: {
+      auto target = DecodeRecoveryTarget(packet.body);
+      if (!target.ok()) {
+        return true;
+      }
+      auto it = recoveries_.find(target->pid);
+      if (it != recoveries_.end() && it->second.round == target->recovery_round &&
+          it->second.phase == Phase::kAwaitCompleteAck) {
+        ProcessId pid = it->second.target;
+        recoveries_.erase(it);
+        ++stats_.process_recoveries_completed;
+        PUB_LOG_INFO("recovery: %s recovered", ToString(pid).c_str());
+        if (recovery_done_) {
+          recovery_done_(pid);
+        }
+      }
+      return true;
+    }
+    case KernelOp::kRestoreNodeAck: {
+      auto round = DecodeNodeRecoveryRound(packet.body);
+      if (!round.ok()) {
+        return true;
+      }
+      auto it = node_recoveries_.find(round->node);
+      if (it != node_recoveries_.end() && it->second.round == round->recovery_round &&
+          it->second.phase == Phase::kAwaitRecreateAck) {
+        BeginNodeReplay(it->second);
+      }
+      return true;
+    }
+    case KernelOp::kNodeRecoveryCompleteAck: {
+      auto round = DecodeNodeRecoveryRound(packet.body);
+      if (!round.ok()) {
+        return true;
+      }
+      auto it = node_recoveries_.find(round->node);
+      if (it != node_recoveries_.end() && it->second.round == round->recovery_round &&
+          it->second.phase == Phase::kAwaitCompleteAck) {
+        node_recoveries_.erase(it);
+        ++stats_.process_recoveries_completed;
+        PUB_LOG_INFO("recovery: node %u recovered as a unit", round->node.value);
+        if (recovery_done_) {
+          recovery_done_(ProcessId{round->node, NodeKernel::kKernelLocalId});
+        }
+      }
+      return true;
+    }
+    case KernelOp::kStateReply: {
+      auto reply = DecodeStateReply(packet.body);
+      if (!reply.ok()) {
+        return true;
+      }
+      if (reply->restart_number != current_restart_number_) {
+        // §3.4: responses belonging to an earlier restart are ignored.
+        ++stats_.stale_state_replies_ignored;
+        return true;
+      }
+      for (const auto& [pid, answer] : reply->answers) {
+        auto info = recorder_->storage().Info(pid);
+        if (!info.ok() || info->home_node != reply->node) {
+          continue;
+        }
+        switch (answer) {
+          case ProcessStateAnswer::kFunctioning:
+            break;  // Nothing happened; no action (§3.3.4).
+          case ProcessStateAnswer::kCrashed:
+          case ProcessStateAnswer::kRecovering:
+          case ProcessStateAnswer::kUnknown:
+            StartRecovery(pid, reply->node);
+            break;
+        }
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder restart (§3.3.4)
+// ---------------------------------------------------------------------------
+
+void RecoveryManager::OnRecorderRestart(uint64_t restart_number) {
+  current_restart_number_ = restart_number;
+  // Recovery processes did not survive the recorder crash; the state replies
+  // will tell us which targets are stuck in "recovering".
+  recoveries_.clear();
+  // Reset the watchdogs' clocks — no pongs flowed while we were down.
+  for (auto& [node, watch] : watches_) {
+    watch.last_pong = sim_->Now();
+  }
+  ProcessId manager{recorder_->node(), kManagerLocalId};
+  StateQuery query;
+  query.restart_number = restart_number;
+  query.pids = recorder_->storage().AllProcesses();
+  for (NodeId node : cluster_->node_ids()) {
+    ++stats_.state_queries_sent;
+    SendFromRecoveryPid(manager, ProcessId{node, NodeKernel::kKernelLocalId},
+                        EncodeStateQuery(query));
+  }
+}
+
+}  // namespace publishing

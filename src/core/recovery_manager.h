@@ -1,0 +1,159 @@
+// The recovery manager (§3.3.3) and its watchdog and recovery processes.
+//
+// Lives on the recording node.  It learns about crashes two ways:
+//   * kNoticeCrash traps from kernels (single-process crashes, §3.3.2), and
+//   * watchdog timeouts (processor crashes, §4.6: a watch process per node
+//     periodically sends "are you alive" requests and declares the node
+//     crashed when replies stop).
+//
+// For each crashed process it runs a recovery process (§4.7):
+//   1. pick a node (same node, or a spare under the migration policy);
+//   2. send a recreate request carrying the checkpoint (or the initial
+//      image's name), the last-sent watermark, and the recovery round;
+//   3. on recreate-ack, inject every logged message, flagged kFlagReplay, in
+//      the recorded read order;
+//   4. send recovery-complete; on its ack the process is live again.
+//
+// Recursive crashes (§3.5) abort the attempt and start a new round; the
+// round number keeps stale completions from finishing the new attempt.
+// After a recorder restart, the state-query protocol (§3.3.4) classifies
+// every known process as functioning / crashed / recovering / unknown and
+// restarts recovery where needed, ignoring replies from older restarts.
+
+#ifndef SRC_CORE_RECOVERY_MANAGER_H_
+#define SRC_CORE_RECOVERY_MANAGER_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/recorder.h"
+#include "src/demos/cluster.h"
+
+namespace publishing {
+
+enum class NodeRecoveryPolicy {
+  kRestartSameNode,  // Power-cycle the node, then recover its processes there.
+  kMigrateToSpare,   // Recover the node's processes on a configured spare.
+  kIgnore,           // Leave the node down (operator action "do not recover").
+};
+
+struct RecoveryManagerOptions {
+  SimDuration watchdog_period = Millis(200);
+  // A node is declared crashed when no pong has been seen for this long.
+  SimDuration watchdog_timeout = Millis(900);
+  NodeRecoveryPolicy node_policy = NodeRecoveryPolicy::kRestartSameNode;
+  NodeId spare_node{};  // Target for kMigrateToSpare.
+  // §6.6.2: recover crashed nodes as units (whole-node image + step-stamped
+  // extranode replay) instead of process by process.  Requires the cluster
+  // and recorder to run in node-unit mode too.
+  bool node_unit = false;
+  // Multi-recorder (§6.3): when this manager is not the responsible recorder
+  // for a crashed node, it re-checks after this interval and takes over if
+  // the node is still down and responsibility has shifted to it (i.e. the
+  // higher-priority recorder failed during the recovery).
+  SimDuration takeover_recheck = Seconds(2);
+};
+
+struct RecoveryManagerStats {
+  uint64_t process_recoveries_started = 0;
+  uint64_t process_recoveries_completed = 0;
+  uint64_t node_crashes_detected = 0;
+  uint64_t recursive_recoveries = 0;
+  uint64_t state_queries_sent = 0;
+  uint64_t stale_state_replies_ignored = 0;
+};
+
+class RecoveryManager {
+ public:
+  RecoveryManager(Cluster* cluster, Recorder* recorder, RecoveryManagerOptions options);
+  ~RecoveryManager();
+
+  RecoveryManager(const RecoveryManager&) = delete;
+  RecoveryManager& operator=(const RecoveryManager&) = delete;
+
+  // Starts the watchdogs and hooks the recorder's notice/restart handlers.
+  void Start();
+
+  // Entry points (also reachable directly from tests).
+  void OnProcessCrashNotice(const ProcessId& pid);
+  void OnRecorderRestart(uint64_t restart_number);
+  void TriggerNodeRecovery(NodeId node);
+
+  bool IsRecovering(const ProcessId& pid) const { return recoveries_.contains(pid); }
+  size_t active_recoveries() const { return recoveries_.size(); }
+  const RecoveryManagerStats& stats() const { return stats_; }
+
+  // Invoked each time a process recovery finishes (tests use this to wait).
+  void set_recovery_done_callback(std::function<void(const ProcessId&)> cb) {
+    recovery_done_ = std::move(cb);
+  }
+
+  // Multi-recorder coordination (§6.3): consulted before this manager acts
+  // on a crash.  Null (default) means "always responsible" — the
+  // single-recorder configuration.
+  void set_responsibility_filter(std::function<bool(NodeId)> filter) {
+    responsibility_ = std::move(filter);
+  }
+
+ private:
+  enum class Phase { kAwaitRecreateAck, kAwaitCompleteAck };
+
+  struct RecoveryProcess {
+    ProcessId target;       // Process being recovered.
+    ProcessId rproc;        // The recovery process's own network identity.
+    NodeId node;            // Node the process is being recreated on.
+    uint64_t round = 0;
+    Phase phase = Phase::kAwaitRecreateAck;
+    std::vector<LogEntry> replay;  // Snapshot of the log at start.
+  };
+
+  struct NodeWatch {
+    std::unique_ptr<PeriodicTask> task;
+    SimTime last_pong = 0;
+    bool declared_down = false;
+    uint64_t ping_nonce = 0;
+  };
+
+  // §6.6.2 whole-node recovery attempt.
+  struct NodeRecovery {
+    NodeId node;
+    ProcessId rproc;
+    uint64_t round = 0;
+    Phase phase = Phase::kAwaitRecreateAck;
+  };
+
+  void StartRecovery(const ProcessId& pid, NodeId target_node);
+  void BeginReplay(RecoveryProcess& rp);
+  void StartNodeRecovery(NodeId node);
+  void BeginNodeReplay(NodeRecovery& nr);
+  bool HandlePacket(const Packet& packet);
+  void HandlePong(NodeId node);
+  void WatchdogTick(NodeId node);
+  void DeclareNodeCrashed(NodeId node);
+  void RecheckTakeover(NodeId node);
+  void SendFromRecoveryPid(const ProcessId& rproc, const ProcessId& dst_kernel, Bytes body);
+  uint64_t seq_for(const ProcessId& rproc);
+
+  Cluster* cluster_;
+  Recorder* recorder_;
+  RecoveryManagerOptions options_;
+  Simulator* sim_;
+
+  std::map<ProcessId, RecoveryProcess> recoveries_;
+  std::map<NodeId, NodeRecovery> node_recoveries_;
+  std::unordered_map<ProcessId, uint64_t> rproc_seqs_;
+  std::map<NodeId, NodeWatch> watches_;
+  uint32_t next_rproc_local_ = 100;
+  uint64_t next_round_ = 1;
+  uint64_t current_restart_number_ = 0;
+  RecoveryManagerStats stats_;
+  std::function<void(const ProcessId&)> recovery_done_;
+  std::function<bool(NodeId)> responsibility_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_RECOVERY_MANAGER_H_

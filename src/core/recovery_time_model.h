@@ -1,0 +1,108 @@
+// The recovery-time bound model of §3.2.3 and Young's optimal checkpoint
+// interval (§3.2.4).
+//
+//   t_max = t_reload + t_replay + t_compute
+//         = (t_cfix + t_page * l_check)
+//         + (t_mfix * n_msgs + t_byte * sum(l_msg))
+//         + (elapsed_since_checkpoint / f_cpu)
+//
+// The load-dependent parameters are empirical; the process-specific terms
+// are accumulated by the kernel "each time a process is checkpointed or
+// receives a message".  The RecoveryBound checkpoint policy checkpoints a
+// process whenever its t_max exceeds its specified recovery-time budget,
+// guaranteeing the bound.
+
+#ifndef SRC_CORE_RECOVERY_TIME_MODEL_H_
+#define SRC_CORE_RECOVERY_TIME_MODEL_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace publishing {
+
+// Load-dependent parameters (§3.2.3), defaulted to the worked example.
+struct RecoveryTimeParams {
+  SimDuration t_cfix = Millis(100);   // Fixed per-process reload cost.
+  SimDuration t_page = Millis(10);    // Per checkpoint page reloaded.
+  SimDuration t_mfix = Millis(2);     // Per message looked up and replayed.
+  SimDuration t_byte = Micros(10);    // Per message byte replayed (0.01 ms).
+  double f_cpu = 0.5;                 // CPU fraction available to recovery.
+};
+
+// Process-specific accumulator.
+class RecoveryTimeModel {
+ public:
+  explicit RecoveryTimeModel(RecoveryTimeParams params = {}) : params_(params) {}
+
+  // Call when the process is checkpointed: `pages` is the checkpoint length
+  // in pages, `now` the capture time.
+  void OnCheckpoint(uint64_t pages, SimTime now) {
+    checkpoint_pages_ = pages;
+    checkpoint_time_ = now;
+    messages_since_ = 0;
+    message_bytes_since_ = 0;
+  }
+
+  // Call for every message the process receives.
+  void OnMessage(uint64_t bytes) {
+    ++messages_since_;
+    message_bytes_since_ += bytes;
+  }
+
+  SimDuration ReloadTime() const {
+    return params_.t_cfix + params_.t_page * static_cast<SimDuration>(checkpoint_pages_);
+  }
+
+  SimDuration ReplayTime() const {
+    return params_.t_mfix * static_cast<SimDuration>(messages_since_) +
+           params_.t_byte * static_cast<SimDuration>(message_bytes_since_);
+  }
+
+  SimDuration ComputeTime(SimTime now) const {
+    double since = static_cast<double>(now - checkpoint_time_);
+    return static_cast<SimDuration>(since / params_.f_cpu);
+  }
+
+  // The §3.2.3 upper bound (serial composition of the three phases).
+  SimDuration MaxRecoveryTime(SimTime now) const {
+    return ReloadTime() + ReplayTime() + ComputeTime(now);
+  }
+
+  uint64_t messages_since_checkpoint() const { return messages_since_; }
+  uint64_t bytes_since_checkpoint() const { return message_bytes_since_; }
+  const RecoveryTimeParams& params() const { return params_; }
+
+ private:
+  RecoveryTimeParams params_;
+  uint64_t checkpoint_pages_ = 0;
+  SimTime checkpoint_time_ = 0;
+  uint64_t messages_since_ = 0;
+  uint64_t message_bytes_since_ = 0;
+};
+
+// Young's first-order optimum checkpoint interval (§3.2.4):
+// T_interval = sqrt(2 * T_save * T_fail).
+inline SimDuration YoungOptimalInterval(SimDuration checkpoint_save_time,
+                                        SimDuration mean_time_between_failures) {
+  double product = 2.0 * static_cast<double>(checkpoint_save_time) *
+                   static_cast<double>(mean_time_between_failures);
+  return static_cast<SimDuration>(std::sqrt(product));
+}
+
+// Young's expected overhead per failure interval for a given checkpoint
+// interval: time spent writing checkpoints plus expected recomputation.
+// Used by the checkpoint-interval ablation bench.
+inline double YoungExpectedOverheadFraction(SimDuration interval, SimDuration save_time,
+                                            SimDuration mtbf) {
+  double ti = static_cast<double>(interval);
+  double ts = static_cast<double>(save_time);
+  double tf = static_cast<double>(mtbf);
+  // Checkpointing cost fraction + expected lost work fraction.
+  return ts / ti + (ti / 2.0 + ts) / tf;
+}
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_RECOVERY_TIME_MODEL_H_

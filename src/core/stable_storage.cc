@@ -1,0 +1,269 @@
+#include "src/core/stable_storage.h"
+
+#include <algorithm>
+
+namespace publishing {
+
+StableStorage::ProcessLog& StableStorage::Ensure(const ProcessId& pid) { return logs_[pid]; }
+
+void StableStorage::RecordCreation(const ProcessId& pid, const std::string& program,
+                                   std::vector<Link> initial_links, NodeId home_node,
+                                   bool recoverable) {
+  ProcessLog& log = Ensure(pid);
+  log.info.program = program;
+  log.info.initial_links = std::move(initial_links);
+  log.info.home_node = home_node;
+  log.info.destroyed = false;
+  log.info.recoverable = recoverable;
+}
+
+void StableStorage::RecordDestruction(const ProcessId& pid) {
+  auto it = logs_.find(pid);
+  if (it == logs_.end()) {
+    return;
+  }
+  // Keep a tombstone so restart queries do not resurrect it, but free the
+  // replay data.
+  it->second.info.destroyed = true;
+  it->second.entries.clear();
+  it->second.checkpoint.clear();
+  it->second.info.has_checkpoint = false;
+  it->second.info.log_bytes = 0;
+  it->second.info.checkpoint_bytes = 0;
+}
+
+void StableStorage::SetHomeNode(const ProcessId& pid, NodeId node) {
+  auto it = logs_.find(pid);
+  if (it != logs_.end()) {
+    it->second.info.home_node = node;
+  }
+}
+
+void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Bytes packet) {
+  ProcessLog& log = Ensure(pid);
+  if (log.info.destroyed || !log.info.recoverable) {
+    return;  // §6.6.1: nothing is published for non-recoverable processes.
+  }
+  if (!log.ever_logged.insert(id).second) {
+    return;  // Duplicate of a frame we already published.
+  }
+  LogEntry entry;
+  entry.id = id;
+  entry.arrival = next_arrival_++;
+  entry.packet = std::move(packet);
+  log.info.log_bytes += entry.packet.size();
+  log.entries.push_back(std::move(entry));
+  log.info.log_entries = log.entries.size();
+  ++messages_stored_;
+  RefreshAccounting();
+}
+
+void StableStorage::RecordRead(const ProcessId& reader, const MessageId& id) {
+  auto it = logs_.find(reader);
+  if (it == logs_.end()) {
+    return;
+  }
+  ProcessLog& log = it->second;
+  if (log.ever_read.contains(id)) {
+    return;  // Replay re-read; order already known.
+  }
+  for (LogEntry& entry : log.entries) {
+    if (entry.id == id) {
+      entry.read = true;
+      entry.read_seq = log.next_read_seq++;
+      log.ever_read.insert(id);
+      return;
+    }
+  }
+}
+
+void StableStorage::RecordSent(const ProcessId& sender, uint64_t seq) {
+  ProcessLog& log = Ensure(sender);
+  log.info.last_sent_seq = std::max(log.info.last_sent_seq, seq);
+}
+
+void StableStorage::StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t reads_done) {
+  ProcessLog& log = Ensure(pid);
+  if (log.info.destroyed) {
+    return;
+  }
+  log.checkpoint = std::move(state);
+  log.info.has_checkpoint = true;
+  log.info.checkpoint_reads = reads_done;
+  log.info.checkpoint_bytes = log.checkpoint.size();
+  // Discard subsumed messages.  Reads race with the checkpoint message in
+  // transit, so drop only entries whose read position (read_seq is global
+  // per process) falls within the checkpoint's read count.
+  std::erase_if(log.entries,
+                [&](const LogEntry& e) { return e.read && e.read_seq <= reads_done; });
+  log.info.log_bytes = 0;
+  for (const LogEntry& entry : log.entries) {
+    log.info.log_bytes += entry.packet.size();
+  }
+  log.info.log_entries = log.entries.size();
+  RefreshAccounting();
+}
+
+Result<Bytes> StableStorage::LoadCheckpoint(const ProcessId& pid) const {
+  auto it = logs_.find(pid);
+  if (it == logs_.end() || !it->second.info.has_checkpoint) {
+    return Status(StatusCode::kNotFound, "no checkpoint for " + ToString(pid));
+  }
+  return it->second.checkpoint;
+}
+
+std::vector<LogEntry> StableStorage::ReplayList(const ProcessId& pid) const {
+  auto it = logs_.find(pid);
+  if (it == logs_.end()) {
+    return {};
+  }
+  std::vector<LogEntry> read_entries;
+  std::vector<LogEntry> unread_entries;
+  for (const LogEntry& entry : it->second.entries) {
+    if (entry.read) {
+      read_entries.push_back(entry);
+    } else {
+      unread_entries.push_back(entry);
+    }
+  }
+  std::sort(read_entries.begin(), read_entries.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.read_seq < b.read_seq; });
+  std::sort(unread_entries.begin(), unread_entries.end(),
+            [](const LogEntry& a, const LogEntry& b) { return a.arrival < b.arrival; });
+  read_entries.insert(read_entries.end(), unread_entries.begin(), unread_entries.end());
+  return read_entries;
+}
+
+Result<ProcessLogInfo> StableStorage::Info(const ProcessId& pid) const {
+  auto it = logs_.find(pid);
+  if (it == logs_.end()) {
+    return Status(StatusCode::kNotFound, "unknown process " + ToString(pid));
+  }
+  return it->second.info;
+}
+
+uint64_t StableStorage::LastSent(const ProcessId& pid) const {
+  auto it = logs_.find(pid);
+  return it == logs_.end() ? 0 : it->second.info.last_sent_seq;
+}
+
+std::vector<ProcessId> StableStorage::ProcessesOnNode(NodeId node) const {
+  std::vector<ProcessId> out;
+  for (const auto& [pid, log] : logs_) {
+    if (!log.info.destroyed && !log.info.program.empty() && log.info.home_node == node) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+std::vector<ProcessId> StableStorage::AllProcesses() const {
+  std::vector<ProcessId> out;
+  for (const auto& [pid, log] : logs_) {
+    if (!log.info.destroyed && !log.info.program.empty()) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+uint32_t StableStorage::LocalIdHighWater(NodeId node) const {
+  uint32_t high = 0;
+  for (const auto& [pid, log] : logs_) {
+    if (pid.origin == node) {
+      high = std::max(high, pid.local);
+    }
+  }
+  return high;
+}
+
+void StableStorage::AppendNodeMessage(NodeId node, const MessageId& id, Bytes packet) {
+  NodeLog& log = node_logs_[node];
+  if (!log.ever_logged.insert(id).second) {
+    return;  // Retransmission of an already-published frame.
+  }
+  NodeLogEntry entry;
+  entry.id = id;
+  entry.arrival = next_arrival_++;
+  entry.packet = std::move(packet);
+  log.entries.push_back(std::move(entry));
+  ++messages_stored_;
+}
+
+void StableStorage::StampNodeMessage(NodeId node, const MessageId& id, uint64_t step) {
+  auto it = node_logs_.find(node);
+  if (it == node_logs_.end()) {
+    return;
+  }
+  for (NodeLogEntry& entry : it->second.entries) {
+    if (entry.id == id && !entry.stamped) {
+      entry.step = step;
+      entry.stamped = true;
+      return;
+    }
+  }
+}
+
+void StableStorage::StoreNodeCheckpoint(NodeId node, Bytes image, uint64_t node_step) {
+  NodeLog& log = node_logs_[node];
+  log.has_checkpoint = true;
+  log.checkpoint = std::move(image);
+  log.checkpoint_step = node_step;
+  // Entries the checkpoint has already absorbed: stamped at or before the
+  // capture position (read ones are in process state, unread ones in the
+  // serialized queues).
+  std::erase_if(log.entries, [node_step](const NodeLogEntry& entry) {
+    return entry.stamped && entry.step <= node_step;
+  });
+}
+
+Result<StableStorage::NodeCheckpointInfo> StableStorage::LoadNodeCheckpoint(NodeId node) const {
+  auto it = node_logs_.find(node);
+  if (it == node_logs_.end() || !it->second.has_checkpoint) {
+    return Status(StatusCode::kNotFound, "no node checkpoint for " + ToString(node));
+  }
+  NodeCheckpointInfo info;
+  info.image = it->second.checkpoint;
+  info.node_step = it->second.checkpoint_step;
+  return info;
+}
+
+std::vector<StableStorage::NodeLogEntry> StableStorage::NodeReplayList(NodeId node) const {
+  auto it = node_logs_.find(node);
+  if (it == node_logs_.end()) {
+    return {};
+  }
+  const uint64_t base = it->second.has_checkpoint ? it->second.checkpoint_step : 0;
+  std::vector<NodeLogEntry> out;
+  for (const NodeLogEntry& entry : it->second.entries) {
+    if (entry.stamped && entry.step > base) {
+      out.push_back(entry);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const NodeLogEntry& a, const NodeLogEntry& b) { return a.step < b.step; });
+  return out;
+}
+
+size_t StableStorage::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& [pid, log] : logs_) {
+    total += log.info.log_bytes + log.info.checkpoint_bytes;
+  }
+  return total;
+}
+
+size_t StableStorage::TotalPages() const {
+  // Messages are buffered into 4 KB pages per process (§4.5); each process's
+  // log occupies whole pages.
+  size_t pages = 0;
+  for (const auto& [pid, log] : logs_) {
+    size_t bytes = log.info.log_bytes + log.info.checkpoint_bytes;
+    pages += (bytes + kPageBytes - 1) / kPageBytes;
+  }
+  return pages;
+}
+
+void StableStorage::RefreshAccounting() { peak_bytes_ = std::max(peak_bytes_, TotalBytes()); }
+
+}  // namespace publishing

@@ -1,0 +1,169 @@
+// The recorder's stable storage (§3.3.1, §4.5).
+//
+// Holds, per process, exactly the database entry the paper enumerates:
+//   * the process identifier,
+//   * the identifier of the most recent message sent by the process,
+//   * the messages received since the last checkpoint (with read order),
+//   * the last checkpoint,
+//   * whether or not the process is recovering,
+// plus the restart counter used by the recorder-restart protocol (§3.4).
+//
+// The store survives recorder crashes by construction: the Recorder object
+// only keeps summaries; crash/restart drops the Recorder's volatile state
+// and rebuilds from this object ("it is possible to rebuild the data base
+// from the disk", §4.5).  Disk-page accounting (4 KB pages, compaction on
+// checkpoint) models the storage-cost numbers of §5.1.
+
+#ifndef SRC_CORE_STABLE_STORAGE_H_
+#define SRC_CORE_STABLE_STORAGE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+#include "src/demos/link.h"
+
+namespace publishing {
+
+// One published message in a process's input stream.
+struct LogEntry {
+  MessageId id;
+  uint64_t arrival = 0;   // Monotonic arrival index at the recorder.
+  Bytes packet;           // Serialized transport packet (replayable as-is).
+  bool read = false;
+  uint64_t read_seq = 0;  // Position in the process's read stream.
+};
+
+struct ProcessLogInfo {
+  std::string program;
+  std::vector<Link> initial_links;
+  NodeId home_node;
+  bool destroyed = false;
+  bool recoverable = true;  // §6.6.1: false = publish nothing for it.
+  bool has_checkpoint = false;
+  uint64_t checkpoint_reads = 0;   // reads_done at the stored checkpoint.
+  uint64_t last_sent_seq = 0;      // Highest send sequence published.
+  size_t log_bytes = 0;            // Published bytes retained for replay.
+  size_t log_entries = 0;          // Messages retained for replay.
+  size_t checkpoint_bytes = 0;
+};
+
+class StableStorage {
+ public:
+  static constexpr size_t kPageBytes = 4096;
+
+  // --- Process lifecycle ---
+  void RecordCreation(const ProcessId& pid, const std::string& program,
+                      std::vector<Link> initial_links, NodeId home_node,
+                      bool recoverable = true);
+  void RecordDestruction(const ProcessId& pid);
+  // Recovery onto a different node moves the process's home (§3.3.3 step 1).
+  void SetHomeNode(const ProcessId& pid, NodeId node);
+  bool Knows(const ProcessId& pid) const { return logs_.contains(pid); }
+
+  // --- Publishing ---
+  // Appends a published message for `pid`; creates an implicit entry if the
+  // creation notice has not arrived yet.
+  void AppendMessage(const ProcessId& pid, const MessageId& id, Bytes packet);
+  // Records that `reader` consumed `id`.  Re-reads during replay (ids already
+  // recorded as read) are ignored.
+  void RecordRead(const ProcessId& reader, const MessageId& id);
+  // Updates the highest-sent watermark for a sender.
+  void RecordSent(const ProcessId& sender, uint64_t seq);
+
+  // --- Checkpoints ---
+  // Stores a checkpoint taken when the process had performed `reads_done`
+  // reads, and discards the log entries it subsumes (§3.3.1: "After the
+  // checkpoint has been reliably stored, older checkpoints and messages can
+  // be discarded").
+  void StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t reads_done);
+  Result<Bytes> LoadCheckpoint(const ProcessId& pid) const;
+
+  // --- Recovery support ---
+  // The messages to replay, in order: entries read since the checkpoint in
+  // read order, then unread entries in arrival order (the queue at crash).
+  std::vector<LogEntry> ReplayList(const ProcessId& pid) const;
+  Result<ProcessLogInfo> Info(const ProcessId& pid) const;
+  uint64_t LastSent(const ProcessId& pid) const;
+  // Every non-destroyed process the recorder believes should exist, by node.
+  std::vector<ProcessId> ProcessesOnNode(NodeId node) const;
+  std::vector<ProcessId> AllProcesses() const;
+  // Highest local process id created on `node` (restart floor, §4.7).
+  uint32_t LocalIdHighWater(NodeId node) const;
+
+  // --- Node-unit recovery storage (§6.6.2) ---
+
+  struct NodeLogEntry {
+    MessageId id;
+    uint64_t arrival = 0;
+    uint64_t step = 0;     // Event-counter stamp; valid when `stamped`.
+    bool stamped = false;  // False until the node reported the arrival.
+    Bytes packet;
+  };
+
+  // Appends an overheard extranode message for `node`.
+  void AppendNodeMessage(NodeId node, const MessageId& id, Bytes packet);
+  // Records the execution position at which `node` received message `id`.
+  void StampNodeMessage(NodeId node, const MessageId& id, uint64_t step);
+  // Stores a whole-node checkpoint and discards entries it subsumes.
+  void StoreNodeCheckpoint(NodeId node, Bytes image, uint64_t node_step);
+  struct NodeCheckpointInfo {
+    Bytes image;
+    uint64_t node_step = 0;
+  };
+  Result<NodeCheckpointInfo> LoadNodeCheckpoint(NodeId node) const;
+  // Stamped entries newer than the checkpoint, in stamp order.  Unstamped
+  // entries (the node never received them) are excluded: their senders are
+  // still retransmitting and will deliver them live.
+  std::vector<NodeLogEntry> NodeReplayList(NodeId node) const;
+
+  // --- Recorder restart (§3.4) ---
+  uint64_t IncrementRestartNumber() { return ++restart_number_; }
+  uint64_t restart_number() const { return restart_number_; }
+
+  // --- Accounting (§5.1 storage results) ---
+  size_t TotalBytes() const;
+  size_t TotalPages() const;
+  size_t PeakBytes() const { return peak_bytes_; }
+  uint64_t messages_stored() const { return messages_stored_; }
+
+ private:
+  struct ProcessLog {
+    ProcessLogInfo info;
+    Bytes checkpoint;
+    std::vector<LogEntry> entries;              // Arrival order.
+    uint64_t next_read_seq = 1;
+    std::unordered_set<MessageId> ever_read;    // Replay re-read filter.
+    std::unordered_set<MessageId> ever_logged;  // Retransmit dedup: a frame
+                                                // retransmitted because its
+                                                // ack was lost must not be
+                                                // logged twice.
+  };
+
+  struct NodeLog {
+    bool has_checkpoint = false;
+    Bytes checkpoint;
+    uint64_t checkpoint_step = 0;
+    std::vector<NodeLogEntry> entries;
+    std::unordered_set<MessageId> ever_logged;
+  };
+
+  ProcessLog& Ensure(const ProcessId& pid);
+  void RefreshAccounting();
+
+  std::map<ProcessId, ProcessLog> logs_;
+  std::map<NodeId, NodeLog> node_logs_;
+  uint64_t next_arrival_ = 1;
+  uint64_t restart_number_ = 0;
+  uint64_t messages_stored_ = 0;
+  size_t peak_bytes_ = 0;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_STABLE_STORAGE_H_

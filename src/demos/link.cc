@@ -1,0 +1,55 @@
+#include "src/demos/link.h"
+
+namespace publishing {
+
+void SerializeLink(Writer& w, const Link& link) {
+  w.WriteProcessId(link.dest);
+  w.WriteU16(link.channel);
+  w.WriteU32(link.code);
+  w.WriteU8(link.flags);
+}
+
+Result<Link> ParseLink(Reader& r) {
+  Link link;
+  auto dest = r.ReadProcessId();
+  if (!dest.ok()) {
+    return dest.status();
+  }
+  link.dest = *dest;
+  auto channel = r.ReadU16();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  link.channel = *channel;
+  auto code = r.ReadU32();
+  if (!code.ok()) {
+    return code.status();
+  }
+  link.code = *code;
+  auto flags = r.ReadU8();
+  if (!flags.ok()) {
+    return flags.status();
+  }
+  link.flags = *flags;
+  return link;
+}
+
+Bytes LinkToBytes(const Link& link) {
+  Writer w;
+  SerializeLink(w, link);
+  return w.TakeBytes();
+}
+
+Result<Link> LinkFromBytes(const Bytes& bytes) {
+  Reader r(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  auto link = ParseLink(r);
+  if (!link.ok()) {
+    return link.status();
+  }
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kCorrupt, "trailing bytes after link");
+  }
+  return link;
+}
+
+}  // namespace publishing

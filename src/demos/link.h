@@ -1,0 +1,52 @@
+// DEMOS links (§4.2.2.1).
+//
+// A link is a capability naming a destination process.  It carries the
+// channel and code that will be stamped into the header of every message
+// sent over it, and it may be marked DELIVERTOKERNEL (§4.4.3): messages sent
+// over such a link are intercepted by the kernel process of the destination
+// node, which performs process-control actions while "assuming the identity"
+// of the controlled process.
+//
+// Links live outside process address spaces — in kernel link tables or in
+// messages — and processes refer to them only by LinkId (their index in the
+// owning process's table).
+
+#ifndef SRC_DEMOS_LINK_H_
+#define SRC_DEMOS_LINK_H_
+
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+
+namespace publishing {
+
+enum LinkFlags : uint8_t {
+  // Messages over this link are handled by the destination node's kernel
+  // process on behalf of the destination process (§4.4.3).
+  kLinkDeliverToKernel = 1 << 0,
+};
+
+struct Link {
+  ProcessId dest;        // Process this link grants access to.
+  uint16_t channel = 0;  // Stamped into message headers (§4.2.2.2).
+  uint32_t code = 0;     // Ditto; lets the receiver tell links apart.
+  uint8_t flags = 0;
+
+  bool deliver_to_kernel() const { return (flags & kLinkDeliverToKernel) != 0; }
+
+  friend bool operator==(const Link&, const Link&) = default;
+};
+
+void SerializeLink(Writer& w, const Link& link);
+Result<Link> ParseLink(Reader& r);
+
+// Convenience: a link serialized standalone into a byte string (the
+// "passed link" slot of a packet).
+Bytes LinkToBytes(const Link& link);
+Result<Link> LinkFromBytes(const Bytes& bytes);
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_LINK_H_

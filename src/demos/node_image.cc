@@ -1,0 +1,139 @@
+#include "src/demos/node_image.h"
+
+namespace publishing {
+namespace {
+
+void WriteQueued(Writer& w, const QueuedMessageImage& msg) {
+  w.WriteMessageId(msg.id);
+  w.WriteProcessId(msg.from);
+  w.WriteU16(msg.channel);
+  w.WriteU32(msg.code);
+  w.WriteU8(msg.packet_flags);
+  w.WriteBytes(std::span<const uint8_t>(msg.link_blob.data(), msg.link_blob.size()));
+  w.WriteBytes(std::span<const uint8_t>(msg.body.data(), msg.body.size()));
+}
+
+Result<QueuedMessageImage> ReadQueued(Reader& r) {
+  QueuedMessageImage msg;
+  auto id = r.ReadMessageId();
+  if (!id.ok()) {
+    return id.status();
+  }
+  msg.id = *id;
+  auto from = r.ReadProcessId();
+  if (!from.ok()) {
+    return from.status();
+  }
+  msg.from = *from;
+  auto channel = r.ReadU16();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  msg.channel = *channel;
+  auto code = r.ReadU32();
+  if (!code.ok()) {
+    return code.status();
+  }
+  msg.code = *code;
+  auto flags = r.ReadU8();
+  if (!flags.ok()) {
+    return flags.status();
+  }
+  msg.packet_flags = *flags;
+  auto link_blob = r.ReadBytes();
+  if (!link_blob.ok()) {
+    return link_blob.status();
+  }
+  msg.link_blob = std::move(*link_blob);
+  auto body = r.ReadBytes();
+  if (!body.ok()) {
+    return body.status();
+  }
+  msg.body = std::move(*body);
+  return msg;
+}
+
+}  // namespace
+
+Bytes EncodeNodeImage(const NodeImage& image) {
+  Writer w;
+  w.WriteNodeId(image.node);
+  w.WriteU64(image.node_step);
+  w.WriteU32(image.next_local_id);
+  w.WriteU64(image.kernel_send_seq);
+  w.WriteU32(static_cast<uint32_t>(image.processes.size()));
+  for (const NodeProcessEntry& entry : image.processes) {
+    w.WriteProcessId(entry.pid);
+    Bytes process_image = EncodeProcessImage(entry.image);
+    w.WriteBytes(std::span<const uint8_t>(process_image.data(), process_image.size()));
+    w.WriteU32(static_cast<uint32_t>(entry.queue.size()));
+    for (const QueuedMessageImage& msg : entry.queue) {
+      WriteQueued(w, msg);
+    }
+  }
+  return w.TakeBytes();
+}
+
+Result<NodeImage> DecodeNodeImage(const Bytes& bytes) {
+  Reader r(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  NodeImage image;
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  image.node = *node;
+  auto step = r.ReadU64();
+  if (!step.ok()) {
+    return step.status();
+  }
+  image.node_step = *step;
+  auto next_local = r.ReadU32();
+  if (!next_local.ok()) {
+    return next_local.status();
+  }
+  image.next_local_id = *next_local;
+  auto kernel_seq = r.ReadU64();
+  if (!kernel_seq.ok()) {
+    return kernel_seq.status();
+  }
+  image.kernel_send_seq = *kernel_seq;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    NodeProcessEntry entry;
+    auto pid = r.ReadProcessId();
+    if (!pid.ok()) {
+      return pid.status();
+    }
+    entry.pid = *pid;
+    auto image_bytes = r.ReadBytes();
+    if (!image_bytes.ok()) {
+      return image_bytes.status();
+    }
+    auto process_image = DecodeProcessImage(*image_bytes);
+    if (!process_image.ok()) {
+      return process_image.status();
+    }
+    entry.image = std::move(*process_image);
+    auto queue_count = r.ReadU32();
+    if (!queue_count.ok()) {
+      return queue_count.status();
+    }
+    for (uint32_t q = 0; q < *queue_count; ++q) {
+      auto msg = ReadQueued(r);
+      if (!msg.ok()) {
+        return msg.status();
+      }
+      entry.queue.push_back(std::move(*msg));
+    }
+    image.processes.push_back(std::move(entry));
+  }
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kCorrupt, "trailing bytes after node image");
+  }
+  return image;
+}
+
+}  // namespace publishing

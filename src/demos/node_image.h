@@ -1,0 +1,52 @@
+// Whole-node checkpoint image for node-unit recovery (§6.6.2).
+//
+// "For a number of reasons, they may wish to recover a node as a unit.
+// Some may not be able to afford the extra cost for intranode messages."
+//
+// Unlike a per-process checkpoint (ProcessImage), a node image must contain
+// each process's message queue: intranode messages are not published in this
+// mode, so queued ones exist nowhere else.  The image also carries the
+// kernel's own state — the deterministic scheduler's step counter, the local
+// process-id counter, and the kernel-process send sequence — so the restored
+// node re-executes identically.
+
+#ifndef SRC_DEMOS_NODE_IMAGE_H_
+#define SRC_DEMOS_NODE_IMAGE_H_
+
+#include <vector>
+
+#include "src/demos/process_image.h"
+
+namespace publishing {
+
+// One queued-but-unread message (serialized verbatim).
+struct QueuedMessageImage {
+  MessageId id;
+  ProcessId from;
+  uint16_t channel = 0;
+  uint32_t code = 0;
+  uint8_t packet_flags = 0;
+  Bytes link_blob;
+  Bytes body;
+};
+
+struct NodeProcessEntry {
+  ProcessId pid;
+  ProcessImage image;
+  std::vector<QueuedMessageImage> queue;
+};
+
+struct NodeImage {
+  NodeId node;
+  uint64_t node_step = 0;      // Deterministic-scheduler position (§6.6.2).
+  uint32_t next_local_id = 2;
+  uint64_t kernel_send_seq = 1;
+  std::vector<NodeProcessEntry> processes;
+};
+
+Bytes EncodeNodeImage(const NodeImage& image);
+Result<NodeImage> DecodeNodeImage(const Bytes& bytes);
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_NODE_IMAGE_H_

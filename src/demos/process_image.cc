@@ -1,0 +1,75 @@
+#include "src/demos/process_image.h"
+
+namespace publishing {
+
+Bytes EncodeProcessImage(const ProcessImage& image) {
+  Writer w;
+  w.WriteString(image.program_name);
+  w.WriteBool(image.stopped);
+  w.WriteU64(image.next_send_seq);
+  w.WriteU64(image.reads_done);
+  w.WriteU32(image.next_link_id);
+  w.WriteU32(static_cast<uint32_t>(image.links.size()));
+  for (const auto& [id, link] : image.links) {
+    w.WriteU32(id);
+    SerializeLink(w, link);
+  }
+  w.WriteBytes(std::span<const uint8_t>(image.program_state.data(), image.program_state.size()));
+  return w.TakeBytes();
+}
+
+Result<ProcessImage> DecodeProcessImage(const Bytes& bytes) {
+  Reader r(std::span<const uint8_t>(bytes.data(), bytes.size()));
+  ProcessImage image;
+  auto name = r.ReadString();
+  if (!name.ok()) {
+    return name.status();
+  }
+  image.program_name = std::move(*name);
+  auto stopped = r.ReadBool();
+  if (!stopped.ok()) {
+    return stopped.status();
+  }
+  image.stopped = *stopped;
+  auto seq = r.ReadU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  image.next_send_seq = *seq;
+  auto reads = r.ReadU64();
+  if (!reads.ok()) {
+    return reads.status();
+  }
+  image.reads_done = *reads;
+  auto next_link = r.ReadU32();
+  if (!next_link.ok()) {
+    return next_link.status();
+  }
+  image.next_link_id = *next_link;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto id = r.ReadU32();
+    if (!id.ok()) {
+      return id.status();
+    }
+    auto link = ParseLink(r);
+    if (!link.ok()) {
+      return link.status();
+    }
+    image.links.emplace_back(*id, *link);
+  }
+  auto state = r.ReadBytes();
+  if (!state.ok()) {
+    return state.status();
+  }
+  image.program_state = std::move(*state);
+  if (!r.AtEnd()) {
+    return Status(StatusCode::kCorrupt, "trailing bytes after process image");
+  }
+  return image;
+}
+
+}  // namespace publishing

@@ -1,0 +1,38 @@
+// The serialized process image: what a checkpoint contains (§1.1.3, §4.4.3).
+//
+//   * sequencing state the kernel owns: send sequence number, read count,
+//     link table (the "process save area"),
+//   * the program's own serialized state (the "writable address space").
+//
+// Unread queued messages are deliberately NOT part of the image: the
+// recorder retains the published messages the checkpoint has not read and
+// replays them on recovery (§3.3.1).  The same format is consumed by the
+// replay debugger (§6.5) to reconstruct process states offline.
+
+#ifndef SRC_DEMOS_PROCESS_IMAGE_H_
+#define SRC_DEMOS_PROCESS_IMAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/serialization.h"
+#include "src/demos/link.h"
+
+namespace publishing {
+
+struct ProcessImage {
+  std::string program_name;
+  bool stopped = false;
+  uint64_t next_send_seq = 1;
+  uint64_t reads_done = 0;
+  uint32_t next_link_id = 1;
+  std::vector<std::pair<uint32_t, Link>> links;
+  Bytes program_state;
+};
+
+Bytes EncodeProcessImage(const ProcessImage& image);
+Result<ProcessImage> DecodeProcessImage(const Bytes& bytes);
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_PROCESS_IMAGE_H_

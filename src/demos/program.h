@@ -1,0 +1,134 @@
+// Deterministic user-program runtime.
+//
+// The recovery model requires processes that are "deterministic upon their
+// input interactions" (§1.1.1): restarted from the same state and fed the
+// same messages in the same order, a program must emit the same messages.
+// We enforce the paper's constraint structurally — a UserProgram is an event
+// handler whose only inputs are its serialized state and delivered messages,
+// and whose only outputs are KernelApi calls.  Programs have no access to
+// wall-clock time, randomness, or shared memory.
+//
+// Virtual CPU usage is modeled with KernelApi::Charge(): the charged time
+// delays when the process next becomes runnable, which is what makes the
+// recovery-time model's t_compute term (§3.2.3) measurable.
+
+#ifndef SRC_DEMOS_PROGRAM_H_
+#define SRC_DEMOS_PROGRAM_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+#include "src/demos/link.h"
+#include "src/sim/time.h"
+
+namespace publishing {
+
+// A message as handed to a program by the receive kernel call (§4.2.2.3).
+struct DeliveredMessage {
+  MessageId id;
+  ProcessId from;
+  uint16_t channel = 0;
+  uint32_t code = 0;
+  LinkId passed_link;  // Invalid when no link was passed.
+  Bytes body;
+};
+
+// The kernel-call surface available to user programs.  Every call returns a
+// condition code (part of the visible deterministic interaction, §4.4.3).
+class KernelApi {
+ public:
+  virtual ~KernelApi() = default;
+
+  // Identity of the calling process.
+  virtual ProcessId Self() const = 0;
+  virtual NodeId CurrentNode() const = 0;
+
+  // Creates a link to the calling process with the given channel/code
+  // (§4.2.2.1: "for a process to receive messages, it must create a link to
+  // itself").
+  virtual Result<LinkId> CreateLink(uint16_t channel, uint32_t code) = 0;
+  virtual Status DestroyLink(LinkId link) = 0;
+
+  // Duplicates a held link (capability copy; how the named-link server hands
+  // out registered links without giving its own copy away).
+  virtual Result<LinkId> DuplicateLink(LinkId link) = 0;
+
+  // Reads a link table entry (inspection only; links remain kernel-owned).
+  virtual Result<Link> InspectLink(LinkId link) const = 0;
+
+  // Sends `body` over `link`, optionally passing `pass_link` (which is
+  // removed from the caller's table, §4.2.2.3).
+  virtual Status Send(LinkId link, Bytes body, LinkId pass_link = {}) = 0;
+
+  // Requests creation of `program` on `target_node` via the kernel process
+  // chain.  The reply (CreateProcessReply + a DELIVERTOKERNEL link to the
+  // child) arrives later as a message on `reply_channel`.  `links_to_move`
+  // are removed from the caller's table and installed as the child's initial
+  // links (§4.2.2.1: "the creating process may insert a number of initial
+  // links into the new process's link table").
+  virtual Status RequestCreateProcess(const std::string& program, NodeId target_node,
+                                      uint16_t reply_channel,
+                                      std::vector<LinkId> links_to_move) = 0;
+
+  // Consumes virtual CPU time; the process becomes runnable again only after
+  // the charged duration elapses.
+  virtual void Charge(SimDuration cpu_time) = 0;
+
+  // Terminates the calling process after the current handler returns.
+  virtual void Exit() = 0;
+};
+
+// Base class for deterministic programs.
+class UserProgram {
+ public:
+  virtual ~UserProgram() = default;
+
+  // Invoked once when the process is created from its binary image.  NOT
+  // re-invoked when the process is restored from a checkpoint.
+  virtual void OnStart(KernelApi& api) = 0;
+
+  // Invoked for each received message.
+  virtual void OnMessage(KernelApi& api, const DeliveredMessage& msg) = 0;
+
+  // Channels this process is currently willing to receive from; empty means
+  // "any" (§4.2.2.2).  Consulted by the kernel before each delivery.  Must be
+  // a pure function of program state.
+  virtual std::vector<uint16_t> ReceiveChannels() const { return {}; }
+
+  // Checkpoint support: serialize/restore the program's entire state.
+  virtual void SaveState(Writer& w) const = 0;
+  virtual Status LoadState(Reader& r) = 0;
+};
+
+// Maps program names ("binary images", §3.3.1) to factories.  The recovery
+// manager restarts crashed processes by name, so every program that may be
+// recovered must be registered under the same name on every node.
+class ProgramRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<UserProgram>()>;
+
+  void Register(const std::string& name, Factory factory) { factories_[name] = std::move(factory); }
+
+  Result<std::unique_ptr<UserProgram>> Instantiate(const std::string& name) const {
+    auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return Status(StatusCode::kNotFound, "no program registered as '" + name + "'");
+    }
+    return it->second();
+  }
+
+  bool Has(const std::string& name) const { return factories_.contains(name); }
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_PROGRAM_H_

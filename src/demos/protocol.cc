@@ -1,0 +1,646 @@
+#include "src/demos/protocol.h"
+
+namespace publishing {
+namespace {
+
+Status TrailingBytes() { return Status(StatusCode::kCorrupt, "trailing bytes in payload"); }
+
+Result<KernelOp> ReadOp(Reader& r, KernelOp expected) {
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  if (*op != static_cast<uint8_t>(expected)) {
+    return Status(StatusCode::kCorrupt, "unexpected kernel op");
+  }
+  return expected;
+}
+
+void WriteLinks(Writer& w, const std::vector<Link>& links) {
+  w.WriteU32(static_cast<uint32_t>(links.size()));
+  for (const Link& link : links) {
+    SerializeLink(w, link);
+  }
+}
+
+Result<std::vector<Link>> ReadLinks(Reader& r) {
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  std::vector<Link> links;
+  links.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto link = ParseLink(r);
+    if (!link.ok()) {
+      return link.status();
+    }
+    links.push_back(*link);
+  }
+  return links;
+}
+
+}  // namespace
+
+KernelOp PeekOp(const Bytes& body) {
+  if (body.empty()) {
+    return static_cast<KernelOp>(0);
+  }
+  return static_cast<KernelOp>(body[0]);
+}
+
+Bytes EncodeCreateProcessRequest(const CreateProcessRequest& req) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kCreateProcessRequest));
+  w.WriteString(req.program);
+  w.WriteNodeId(req.target_node);
+  w.WriteProcessId(req.requester);
+  w.WriteU16(req.reply_channel);
+  WriteLinks(w, req.initial_links);
+  return w.TakeBytes();
+}
+
+Result<CreateProcessRequest> DecodeCreateProcessRequest(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kCreateProcessRequest);
+  if (!op.ok()) {
+    return op.status();
+  }
+  CreateProcessRequest req;
+  auto program = r.ReadString();
+  if (!program.ok()) {
+    return program.status();
+  }
+  req.program = std::move(*program);
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  req.target_node = *node;
+  auto requester = r.ReadProcessId();
+  if (!requester.ok()) {
+    return requester.status();
+  }
+  req.requester = *requester;
+  auto channel = r.ReadU16();
+  if (!channel.ok()) {
+    return channel.status();
+  }
+  req.reply_channel = *channel;
+  auto links = ReadLinks(r);
+  if (!links.ok()) {
+    return links.status();
+  }
+  req.initial_links = std::move(*links);
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return req;
+}
+
+Bytes EncodeCreateProcessReply(const CreateProcessReply& reply) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kCreateProcessReply));
+  w.WriteProcessId(reply.created);
+  w.WriteBool(reply.ok);
+  return w.TakeBytes();
+}
+
+Result<CreateProcessReply> DecodeCreateProcessReply(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kCreateProcessReply);
+  if (!op.ok()) {
+    return op.status();
+  }
+  CreateProcessReply reply;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  reply.created = *pid;
+  auto ok = r.ReadBool();
+  if (!ok.ok()) {
+    return ok.status();
+  }
+  reply.ok = *ok;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return reply;
+}
+
+Bytes EncodeOpOnly(KernelOp op) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  return w.TakeBytes();
+}
+
+Bytes EncodePing(KernelOp op, const PingPayload& ping) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteU64(ping.nonce);
+  return w.TakeBytes();
+}
+
+Result<PingPayload> DecodePing(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  PingPayload ping;
+  auto nonce = r.ReadU64();
+  if (!nonce.ok()) {
+    return nonce.status();
+  }
+  ping.nonce = *nonce;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return ping;
+}
+
+Bytes EncodeProcessNotice(KernelOp op, const ProcessNotice& notice) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteProcessId(notice.pid);
+  w.WriteString(notice.program);
+  WriteLinks(w, notice.initial_links);
+  w.WriteU64(notice.first_send_seq);
+  w.WriteBool(notice.recoverable);
+  return w.TakeBytes();
+}
+
+Result<ProcessNotice> DecodeProcessNotice(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  ProcessNotice notice;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  notice.pid = *pid;
+  auto program = r.ReadString();
+  if (!program.ok()) {
+    return program.status();
+  }
+  notice.program = std::move(*program);
+  auto links = ReadLinks(r);
+  if (!links.ok()) {
+    return links.status();
+  }
+  notice.initial_links = std::move(*links);
+  auto seq = r.ReadU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  notice.first_send_seq = *seq;
+  auto recoverable = r.ReadBool();
+  if (!recoverable.ok()) {
+    return recoverable.status();
+  }
+  notice.recoverable = *recoverable;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return notice;
+}
+
+Bytes EncodeCheckpoint(const CheckpointPayload& checkpoint) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kCheckpoint));
+  w.WriteProcessId(checkpoint.pid);
+  w.WriteU64(checkpoint.reads_done);
+  w.WriteBytes(std::span<const uint8_t>(checkpoint.state.data(), checkpoint.state.size()));
+  return w.TakeBytes();
+}
+
+Result<CheckpointPayload> DecodeCheckpoint(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kCheckpoint);
+  if (!op.ok()) {
+    return op.status();
+  }
+  CheckpointPayload checkpoint;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  checkpoint.pid = *pid;
+  auto reads = r.ReadU64();
+  if (!reads.ok()) {
+    return reads.status();
+  }
+  checkpoint.reads_done = *reads;
+  auto state = r.ReadBytes();
+  if (!state.ok()) {
+    return state.status();
+  }
+  checkpoint.state = std::move(*state);
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return checkpoint;
+}
+
+Bytes EncodeRecreateRequest(const RecreateRequest& req) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kRecreateRequest));
+  w.WriteProcessId(req.pid);
+  w.WriteString(req.program);
+  w.WriteBool(req.has_checkpoint);
+  w.WriteBytes(
+      std::span<const uint8_t>(req.checkpoint_state.data(), req.checkpoint_state.size()));
+  WriteLinks(w, req.initial_links);
+  w.WriteU64(req.last_sent_seq);
+  w.WriteU64(req.replay_count);
+  w.WriteU64(req.recovery_round);
+  return w.TakeBytes();
+}
+
+Result<RecreateRequest> DecodeRecreateRequest(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kRecreateRequest);
+  if (!op.ok()) {
+    return op.status();
+  }
+  RecreateRequest req;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  req.pid = *pid;
+  auto program = r.ReadString();
+  if (!program.ok()) {
+    return program.status();
+  }
+  req.program = std::move(*program);
+  auto has_checkpoint = r.ReadBool();
+  if (!has_checkpoint.ok()) {
+    return has_checkpoint.status();
+  }
+  req.has_checkpoint = *has_checkpoint;
+  auto state = r.ReadBytes();
+  if (!state.ok()) {
+    return state.status();
+  }
+  req.checkpoint_state = std::move(*state);
+  auto links = ReadLinks(r);
+  if (!links.ok()) {
+    return links.status();
+  }
+  req.initial_links = std::move(*links);
+  auto last_sent = r.ReadU64();
+  if (!last_sent.ok()) {
+    return last_sent.status();
+  }
+  req.last_sent_seq = *last_sent;
+  auto replay_count = r.ReadU64();
+  if (!replay_count.ok()) {
+    return replay_count.status();
+  }
+  req.replay_count = *replay_count;
+  auto round = r.ReadU64();
+  if (!round.ok()) {
+    return round.status();
+  }
+  req.recovery_round = *round;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return req;
+}
+
+Bytes EncodeRecoveryTarget(KernelOp op, const RecoveryTarget& target) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteProcessId(target.pid);
+  w.WriteU64(target.recovery_round);
+  return w.TakeBytes();
+}
+
+Result<RecoveryTarget> DecodeRecoveryTarget(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  RecoveryTarget target;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  target.pid = *pid;
+  auto round = r.ReadU64();
+  if (!round.ok()) {
+    return round.status();
+  }
+  target.recovery_round = *round;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return target;
+}
+
+Bytes EncodeLocalIdFloor(const LocalIdFloor& payload) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kSetLocalIdFloor));
+  w.WriteU32(payload.floor);
+  w.WriteU64(payload.kernel_seq_floor);
+  return w.TakeBytes();
+}
+
+Result<LocalIdFloor> DecodeLocalIdFloor(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kSetLocalIdFloor);
+  if (!op.ok()) {
+    return op.status();
+  }
+  LocalIdFloor payload;
+  auto floor = r.ReadU32();
+  if (!floor.ok()) {
+    return floor.status();
+  }
+  payload.floor = *floor;
+  auto seq_floor = r.ReadU64();
+  if (!seq_floor.ok()) {
+    return seq_floor.status();
+  }
+  payload.kernel_seq_floor = *seq_floor;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return payload;
+}
+
+Bytes EncodeNodeCheckpoint(const NodeCheckpointPayload& payload) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kCheckpointNode));
+  w.WriteNodeId(payload.node);
+  w.WriteU64(payload.node_step);
+  w.WriteBytes(std::span<const uint8_t>(payload.image.data(), payload.image.size()));
+  return w.TakeBytes();
+}
+
+Result<NodeCheckpointPayload> DecodeNodeCheckpoint(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kCheckpointNode);
+  if (!op.ok()) {
+    return op.status();
+  }
+  NodeCheckpointPayload payload;
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  payload.node = *node;
+  auto step = r.ReadU64();
+  if (!step.ok()) {
+    return step.status();
+  }
+  payload.node_step = *step;
+  auto image = r.ReadBytes();
+  if (!image.ok()) {
+    return image.status();
+  }
+  payload.image = std::move(*image);
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return payload;
+}
+
+Bytes EncodeRestoreNodeRequest(const RestoreNodeRequest& req) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kRestoreNodeRequest));
+  w.WriteNodeId(req.node);
+  w.WriteBool(req.has_image);
+  w.WriteBytes(std::span<const uint8_t>(req.image.data(), req.image.size()));
+  w.WriteU64(req.recovery_round);
+  w.WriteU32(static_cast<uint32_t>(req.last_sent.size()));
+  for (const auto& [pid, seq] : req.last_sent) {
+    w.WriteProcessId(pid);
+    w.WriteU64(seq);
+  }
+  return w.TakeBytes();
+}
+
+Result<RestoreNodeRequest> DecodeRestoreNodeRequest(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kRestoreNodeRequest);
+  if (!op.ok()) {
+    return op.status();
+  }
+  RestoreNodeRequest req;
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  req.node = *node;
+  auto has_image = r.ReadBool();
+  if (!has_image.ok()) {
+    return has_image.status();
+  }
+  req.has_image = *has_image;
+  auto image = r.ReadBytes();
+  if (!image.ok()) {
+    return image.status();
+  }
+  req.image = std::move(*image);
+  auto round = r.ReadU64();
+  if (!round.ok()) {
+    return round.status();
+  }
+  req.recovery_round = *round;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto pid = r.ReadProcessId();
+    if (!pid.ok()) {
+      return pid.status();
+    }
+    auto seq = r.ReadU64();
+    if (!seq.ok()) {
+      return seq.status();
+    }
+    req.last_sent.emplace_back(*pid, *seq);
+  }
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return req;
+}
+
+Bytes EncodeNodeReplayMessage(const NodeReplayMessage& msg) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kNodeReplayMessage));
+  w.WriteU64(msg.step);
+  w.WriteBytes(std::span<const uint8_t>(msg.packet.data(), msg.packet.size()));
+  return w.TakeBytes();
+}
+
+Result<NodeReplayMessage> DecodeNodeReplayMessage(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kNodeReplayMessage);
+  if (!op.ok()) {
+    return op.status();
+  }
+  NodeReplayMessage msg;
+  auto step = r.ReadU64();
+  if (!step.ok()) {
+    return step.status();
+  }
+  msg.step = *step;
+  auto packet = r.ReadBytes();
+  if (!packet.ok()) {
+    return packet.status();
+  }
+  msg.packet = std::move(*packet);
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return msg;
+}
+
+Bytes EncodeNodeRecoveryRound(KernelOp op, const NodeRecoveryRound& round) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(op));
+  w.WriteNodeId(round.node);
+  w.WriteU64(round.recovery_round);
+  return w.TakeBytes();
+}
+
+Result<NodeRecoveryRound> DecodeNodeRecoveryRound(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  NodeRecoveryRound round;
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  round.node = *node;
+  auto round_number = r.ReadU64();
+  if (!round_number.ok()) {
+    return round_number.status();
+  }
+  round.recovery_round = *round_number;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return round;
+}
+
+const char* ProcessStateAnswerName(ProcessStateAnswer answer) {
+  switch (answer) {
+    case ProcessStateAnswer::kFunctioning:
+      return "functioning";
+    case ProcessStateAnswer::kCrashed:
+      return "crashed";
+    case ProcessStateAnswer::kRecovering:
+      return "recovering";
+    case ProcessStateAnswer::kUnknown:
+      return "unknown";
+  }
+  return "?";
+}
+
+Bytes EncodeStateQuery(const StateQuery& query) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kStateQuery));
+  w.WriteU64(query.restart_number);
+  w.WriteU32(static_cast<uint32_t>(query.pids.size()));
+  for (const ProcessId& pid : query.pids) {
+    w.WriteProcessId(pid);
+  }
+  return w.TakeBytes();
+}
+
+Result<StateQuery> DecodeStateQuery(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kStateQuery);
+  if (!op.ok()) {
+    return op.status();
+  }
+  StateQuery query;
+  auto restart = r.ReadU64();
+  if (!restart.ok()) {
+    return restart.status();
+  }
+  query.restart_number = *restart;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto pid = r.ReadProcessId();
+    if (!pid.ok()) {
+      return pid.status();
+    }
+    query.pids.push_back(*pid);
+  }
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return query;
+}
+
+Bytes EncodeStateReply(const StateReply& reply) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kStateReply));
+  w.WriteU64(reply.restart_number);
+  w.WriteNodeId(reply.node);
+  w.WriteU32(static_cast<uint32_t>(reply.answers.size()));
+  for (const auto& [pid, answer] : reply.answers) {
+    w.WriteProcessId(pid);
+    w.WriteU8(static_cast<uint8_t>(answer));
+  }
+  return w.TakeBytes();
+}
+
+Result<StateReply> DecodeStateReply(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kStateReply);
+  if (!op.ok()) {
+    return op.status();
+  }
+  StateReply reply;
+  auto restart = r.ReadU64();
+  if (!restart.ok()) {
+    return restart.status();
+  }
+  reply.restart_number = *restart;
+  auto node = r.ReadNodeId();
+  if (!node.ok()) {
+    return node.status();
+  }
+  reply.node = *node;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto pid = r.ReadProcessId();
+    if (!pid.ok()) {
+      return pid.status();
+    }
+    auto answer = r.ReadU8();
+    if (!answer.ok()) {
+      return answer.status();
+    }
+    reply.answers.emplace_back(*pid, static_cast<ProcessStateAnswer>(*answer));
+  }
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return reply;
+}
+
+}  // namespace publishing

@@ -1,0 +1,232 @@
+// Kernel-to-kernel and kernel-to-recorder wire protocol.
+//
+// Three conversations share this vocabulary:
+//   * process control (§4.2.3/§4.4.3): create/destroy/move-link/stop, carried
+//     either to a node's kernel process directly or over DELIVERTOKERNEL
+//     links;
+//   * publishing notices (§4.5): process creation/destruction and checkpoint
+//     submissions the recorder needs to maintain its database;
+//   * recovery (§3.3, §4.7): watchdog pings, recreate requests, replay
+//     completion, and the recorder-restart state-query protocol (§3.3.4).
+
+#ifndef SRC_DEMOS_PROTOCOL_H_
+#define SRC_DEMOS_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+#include "src/demos/link.h"
+
+namespace publishing {
+
+// First byte of every kernel-protocol message body.
+enum class KernelOp : uint8_t {
+  // --- Process control ---
+  kCreateProcessRequest = 1,
+  kCreateProcessReply = 2,
+  kDestroyProcess = 3,
+  kMoveLink = 4,     // Install the passed link into the controlled process.
+  kStopProcess = 5,
+  kStartProcess = 6,
+
+  // --- Watchdog (§3.3.2 / §4.6) ---
+  kPing = 16,
+  kPong = 17,
+
+  // --- Publishing notices (§4.5) ---
+  kNoticeCreated = 32,
+  kNoticeDestroyed = 33,
+  kCheckpoint = 34,
+  kNoticeCrash = 35,  // Fault trap: a process halted on a detected error.
+  kCheckpointNode = 36,  // §6.6.2: whole-node checkpoint image.
+
+  // --- Node-unit recovery (§6.6.2) ---
+  kRestoreNodeRequest = 53,
+  kRestoreNodeAck = 54,
+  kNodeReplayMessage = 55,   // Extranode message + its execution-step stamp.
+  kNodeRecoveryComplete = 56,
+  kNodeRecoveryCompleteAck = 57,
+
+  // --- Recovery (§3.3.3 / §4.7) ---
+  kRecreateRequest = 48,
+  kRecreateAck = 49,
+  kRecoveryComplete = 50,
+  kRecoveryCompleteAck = 51,
+  kSetLocalIdFloor = 52,  // Restarted node: do not reuse local ids <= floor.
+
+  // --- Recorder restart state queries (§3.3.4) ---
+  kStateQuery = 64,
+  kStateReply = 65,
+};
+
+// Returns 0 if the body is empty.
+KernelOp PeekOp(const Bytes& body);
+
+// --- Process control payloads ---
+
+// "Create on the requester's node" placeholder (§4.3.2: "If the parameter is
+// not present, the memory scheduler chooses the node from which the request
+// came").
+inline constexpr NodeId kAnyNode{0xFFFFFFFEu};
+
+// Channel on which system services (process manager, memory scheduler,
+// kernel processes) accept requests.
+inline constexpr uint16_t kProcessServiceChannel = 999;
+
+struct CreateProcessRequest {
+  std::string program;
+  NodeId target_node = kAnyNode;
+  ProcessId requester;           // Receives the CreateProcessReply.
+  uint16_t reply_channel = 0;    // Channel the requester expects the reply on.
+  std::vector<Link> initial_links;
+};
+Bytes EncodeCreateProcessRequest(const CreateProcessRequest& req);
+Result<CreateProcessRequest> DecodeCreateProcessRequest(const Bytes& body);
+
+struct CreateProcessReply {
+  ProcessId created;
+  bool ok = false;
+};
+Bytes EncodeCreateProcessReply(const CreateProcessReply& reply);
+Result<CreateProcessReply> DecodeCreateProcessReply(const Bytes& body);
+
+// kMoveLink / kDestroyProcess / kStop / kStart carry no payload beyond the
+// op byte (the link rides in the packet's passed-link slot; the target
+// process is the packet's destination).
+Bytes EncodeOpOnly(KernelOp op);
+
+// --- Watchdog ---
+
+struct PingPayload {
+  uint64_t nonce = 0;
+};
+Bytes EncodePing(KernelOp op, const PingPayload& ping);
+Result<PingPayload> DecodePing(const Bytes& body);
+
+// --- Publishing notices ---
+
+struct ProcessNotice {
+  ProcessId pid;
+  std::string program;        // Initial "binary image" name (§3.3.1).
+  std::vector<Link> initial_links;
+  uint64_t first_send_seq = 1;
+  bool recoverable = true;    // §6.6.1: messages to non-recoverable
+                              // processes are not published.
+};
+Bytes EncodeProcessNotice(KernelOp op, const ProcessNotice& notice);
+Result<ProcessNotice> DecodeProcessNotice(const Bytes& body);
+
+struct CheckpointPayload {
+  ProcessId pid;
+  uint64_t reads_done = 0;     // Messages read by the process so far; the
+                               // recorder may discard log entries this
+                               // checkpoint subsumes (§3.3.1).
+  Bytes state;                 // Serialized process image.
+};
+Bytes EncodeCheckpoint(const CheckpointPayload& checkpoint);
+Result<CheckpointPayload> DecodeCheckpoint(const Bytes& body);
+
+// --- Recovery ---
+
+struct RecreateRequest {
+  ProcessId pid;
+  std::string program;
+  bool has_checkpoint = false;
+  Bytes checkpoint_state;          // Valid when has_checkpoint.
+  std::vector<Link> initial_links; // Used when restarting from the image.
+  uint64_t last_sent_seq = 0;      // Highest seq published from pid; sends at
+                                   // or below this are suppressed (§4.7).
+  uint64_t replay_count = 0;       // Messages the recovery process will inject.
+  uint64_t recovery_round = 0;     // Distinguishes recovery attempts so a
+                                   // recursive crash (§3.5) cannot complete a
+                                   // successor attempt with stale messages.
+};
+Bytes EncodeRecreateRequest(const RecreateRequest& req);
+Result<RecreateRequest> DecodeRecreateRequest(const Bytes& body);
+
+struct RecoveryTarget {
+  ProcessId pid;
+  uint64_t recovery_round = 0;  // 0 when not tied to a specific attempt.
+};
+Bytes EncodeRecoveryTarget(KernelOp op, const RecoveryTarget& target);
+Result<RecoveryTarget> DecodeRecoveryTarget(const Bytes& body);
+
+struct LocalIdFloor {
+  uint32_t floor = 0;            // Do not assign local process ids <= floor.
+  uint64_t kernel_seq_floor = 0; // Resume kernel-process message ids above
+                                 // this (keeps ids unique across restarts).
+};
+Bytes EncodeLocalIdFloor(const LocalIdFloor& payload);
+Result<LocalIdFloor> DecodeLocalIdFloor(const Bytes& body);
+
+// --- Node-unit recovery payloads (§6.6.2) ---
+
+struct NodeCheckpointPayload {
+  NodeId node;
+  uint64_t node_step = 0;  // Execution-step counter at capture.
+  Bytes image;             // Serialized NodeImage (src/demos/node_image.h).
+};
+Bytes EncodeNodeCheckpoint(const NodeCheckpointPayload& payload);
+Result<NodeCheckpointPayload> DecodeNodeCheckpoint(const Bytes& body);
+
+struct RestoreNodeRequest {
+  NodeId node;
+  bool has_image = false;
+  Bytes image;
+  uint64_t recovery_round = 0;
+  // Per-process extranode-send high-water marks: re-sends at or below these
+  // are suppressed during replay.
+  std::vector<std::pair<ProcessId, uint64_t>> last_sent;
+};
+Bytes EncodeRestoreNodeRequest(const RestoreNodeRequest& req);
+Result<RestoreNodeRequest> DecodeRestoreNodeRequest(const Bytes& body);
+
+struct NodeReplayMessage {
+  uint64_t step = 0;   // Inject when the node's step counter reaches this.
+  Bytes packet;        // The original serialized transport packet.
+};
+Bytes EncodeNodeReplayMessage(const NodeReplayMessage& msg);
+Result<NodeReplayMessage> DecodeNodeReplayMessage(const Bytes& body);
+
+struct NodeRecoveryRound {
+  NodeId node;
+  uint64_t recovery_round = 0;
+};
+Bytes EncodeNodeRecoveryRound(KernelOp op, const NodeRecoveryRound& round);
+Result<NodeRecoveryRound> DecodeNodeRecoveryRound(const Bytes& body);
+
+// --- Recorder restart state queries (§3.3.4) ---
+
+// "the process is functioning / has crashed / is being recovered / is
+// unknown" — the four answers a node can give about a process.
+enum class ProcessStateAnswer : uint8_t {
+  kFunctioning = 0,
+  kCrashed = 1,
+  kRecovering = 2,
+  kUnknown = 3,
+};
+const char* ProcessStateAnswerName(ProcessStateAnswer answer);
+
+struct StateQuery {
+  uint64_t restart_number = 0;  // Stable-storage counter (§3.4); replies with
+                                // a stale number are ignored.
+  std::vector<ProcessId> pids;
+};
+Bytes EncodeStateQuery(const StateQuery& query);
+Result<StateQuery> DecodeStateQuery(const Bytes& body);
+
+struct StateReply {
+  uint64_t restart_number = 0;
+  NodeId node;
+  std::vector<std::pair<ProcessId, ProcessStateAnswer>> answers;
+};
+Bytes EncodeStateReply(const StateReply& reply);
+Result<StateReply> DecodeStateReply(const Bytes& body);
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_PROTOCOL_H_

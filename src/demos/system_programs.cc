@@ -1,0 +1,315 @@
+#include "src/demos/system_programs.h"
+
+#include "src/common/logging.h"
+
+namespace publishing {
+namespace {
+
+uint64_t JobKey(const ProcessId& pid) { return (uint64_t{pid.origin.value} << 32) | pid.local; }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Named-link protocol helpers
+// ---------------------------------------------------------------------------
+
+Bytes EncodeNameRegister(const std::string& name) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(NameOp::kRegister));
+  w.WriteString(name);
+  return w.TakeBytes();
+}
+
+Bytes EncodeNameLookup(const std::string& name) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(NameOp::kLookup));
+  w.WriteString(name);
+  return w.TakeBytes();
+}
+
+Bytes EncodeNameReply(const NameReply& reply) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(NameOp::kReply));
+  w.WriteString(reply.name);
+  w.WriteBool(reply.found);
+  return w.TakeBytes();
+}
+
+Result<NameReply> DecodeNameReply(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  if (*op != static_cast<uint8_t>(NameOp::kReply)) {
+    return Status(StatusCode::kCorrupt, "not a name reply");
+  }
+  NameReply reply;
+  auto name = r.ReadString();
+  if (!name.ok()) {
+    return name.status();
+  }
+  reply.name = std::move(*name);
+  auto found = r.ReadBool();
+  if (!found.ok()) {
+    return found.status();
+  }
+  reply.found = *found;
+  return reply;
+}
+
+Result<std::string> DecodeNameRequest(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = r.ReadU8();
+  if (!op.ok()) {
+    return op.status();
+  }
+  auto name = r.ReadString();
+  if (!name.ok()) {
+    return name.status();
+  }
+  return *name;
+}
+
+// ---------------------------------------------------------------------------
+// ProcessManagerProgram
+// ---------------------------------------------------------------------------
+
+void ProcessManagerProgram::OnStart(KernelApi& api) { (void)api; }
+
+void ProcessManagerProgram::OnMessage(KernelApi& api, const DeliveredMessage& msg) {
+  if (PeekOp(msg.body) != KernelOp::kCreateProcessRequest) {
+    return;
+  }
+  auto req = DecodeCreateProcessRequest(msg.body);
+  if (!req.ok()) {
+    return;
+  }
+  api.Charge(Millis(1));
+  const uint64_t job = JobKey(req->requester);
+  if (job_limit_ != 0 && job_counts_[job] >= job_limit_) {
+    PUB_LOG_DEBUG("process manager: job limit reached for %s",
+                  ToString(req->requester).c_str());
+    return;
+  }
+  ++job_counts_[job];
+  ++forwarded_;
+  // Pass the request down the chain unmodified (§4.2.3).
+  api.Send(LinkId{kSchedulerLink}, msg.body);
+}
+
+void ProcessManagerProgram::SaveState(Writer& w) const {
+  w.WriteU64(forwarded_);
+  w.WriteU32(job_limit_);
+  w.WriteU32(static_cast<uint32_t>(job_counts_.size()));
+  for (const auto& [job, count] : job_counts_) {
+    w.WriteU64(job);
+    w.WriteU32(count);
+  }
+}
+
+Status ProcessManagerProgram::LoadState(Reader& r) {
+  auto forwarded = r.ReadU64();
+  if (!forwarded.ok()) {
+    return forwarded.status();
+  }
+  forwarded_ = *forwarded;
+  auto limit = r.ReadU32();
+  if (!limit.ok()) {
+    return limit.status();
+  }
+  job_limit_ = *limit;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  job_counts_.clear();
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto job = r.ReadU64();
+    if (!job.ok()) {
+      return job.status();
+    }
+    auto jobs = r.ReadU32();
+    if (!jobs.ok()) {
+      return jobs.status();
+    }
+    job_counts_[*job] = *jobs;
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// MemorySchedulerProgram
+// ---------------------------------------------------------------------------
+
+void MemorySchedulerProgram::OnStart(KernelApi& api) {
+  // Discover the kernel-process links wired in at boot (one per node, in
+  // cluster order: "the memory scheduler maintains a link to the kernel
+  // process of each node", §4.3.2).
+  node_links_.clear();
+  for (uint32_t id = 1;; ++id) {
+    auto link = api.InspectLink(LinkId{id});
+    if (!link.ok()) {
+      break;
+    }
+    node_links_.emplace_back(link->dest.origin.value, id);
+  }
+}
+
+Result<LinkId> MemorySchedulerProgram::LinkForNode(KernelApi& api, NodeId node) const {
+  (void)api;
+  for (const auto& [node_value, link_id] : node_links_) {
+    if (node_value == node.value) {
+      return LinkId{link_id};
+    }
+  }
+  return Status(StatusCode::kNotFound, "no kernel link for " + ToString(node));
+}
+
+void MemorySchedulerProgram::OnMessage(KernelApi& api, const DeliveredMessage& msg) {
+  if (PeekOp(msg.body) != KernelOp::kCreateProcessRequest) {
+    return;
+  }
+  auto req = DecodeCreateProcessRequest(msg.body);
+  if (!req.ok()) {
+    return;
+  }
+  api.Charge(Millis(1));
+  NodeId node = req->target_node;
+  if (node == kAnyNode) {
+    // "the memory scheduler chooses the node from which the request came"
+    // (§4.3.2).
+    node = req->requester.origin;
+  }
+  auto link = LinkForNode(api, node);
+  if (!link.ok() && !node_links_.empty()) {
+    // Unknown node (e.g. a migrated requester): place round-robin.
+    link = LinkId{node_links_[round_robin_++ % node_links_.size()].second};
+  }
+  if (!link.ok()) {
+    return;
+  }
+  ++scheduled_;
+  api.Send(*link, msg.body);
+}
+
+void MemorySchedulerProgram::SaveState(Writer& w) const {
+  w.WriteU64(scheduled_);
+  w.WriteU64(round_robin_);
+  w.WriteU32(static_cast<uint32_t>(node_links_.size()));
+  for (const auto& [node, link] : node_links_) {
+    w.WriteU32(node);
+    w.WriteU32(link);
+  }
+}
+
+Status MemorySchedulerProgram::LoadState(Reader& r) {
+  auto scheduled = r.ReadU64();
+  if (!scheduled.ok()) {
+    return scheduled.status();
+  }
+  scheduled_ = *scheduled;
+  auto rr = r.ReadU64();
+  if (!rr.ok()) {
+    return rr.status();
+  }
+  round_robin_ = *rr;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  node_links_.clear();
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto node = r.ReadU32();
+    if (!node.ok()) {
+      return node.status();
+    }
+    auto link = r.ReadU32();
+    if (!link.ok()) {
+      return link.status();
+    }
+    node_links_.emplace_back(*node, *link);
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// NamedLinkServerProgram
+// ---------------------------------------------------------------------------
+
+void NamedLinkServerProgram::OnStart(KernelApi& api) { (void)api; }
+
+void NamedLinkServerProgram::OnMessage(KernelApi& api, const DeliveredMessage& msg) {
+  if (msg.body.empty()) {
+    return;
+  }
+  const auto op = static_cast<NameOp>(msg.body[0]);
+  auto name = DecodeNameRequest(msg.body);
+  if (!name.ok()) {
+    return;
+  }
+  api.Charge(Micros(500));
+  switch (op) {
+    case NameOp::kRegister: {
+      if (!msg.passed_link.IsValid()) {
+        return;
+      }
+      // The passed link is already in our kernel link table; remember which
+      // slot it occupies.  Re-registration replaces the binding.
+      names_[*name] = msg.passed_link.value;
+      return;
+    }
+    case NameOp::kLookup: {
+      if (!msg.passed_link.IsValid()) {
+        return;  // Nowhere to reply.
+      }
+      NameReply reply;
+      reply.name = *name;
+      LinkId pass;
+      auto it = names_.find(*name);
+      if (it != names_.end()) {
+        // Send() consumes the passed link, so hand out a duplicate and keep
+        // the registered original.
+        auto dup = api.DuplicateLink(LinkId{it->second});
+        if (dup.ok()) {
+          reply.found = true;
+          pass = *dup;
+        }
+      }
+      api.Send(msg.passed_link, EncodeNameReply(reply), pass);
+      return;
+    }
+    case NameOp::kReply:
+      return;
+  }
+}
+
+void NamedLinkServerProgram::SaveState(Writer& w) const {
+  w.WriteU32(static_cast<uint32_t>(names_.size()));
+  for (const auto& [name, slot] : names_) {
+    w.WriteString(name);
+    w.WriteU32(slot);
+  }
+}
+
+Status NamedLinkServerProgram::LoadState(Reader& r) {
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  names_.clear();
+  for (uint32_t i = 0; i < *count; ++i) {
+    auto name = r.ReadString();
+    if (!name.ok()) {
+      return name.status();
+    }
+    auto slot = r.ReadU32();
+    if (!slot.ok()) {
+      return slot.status();
+    }
+    names_[*name] = *slot;
+  }
+  return Status::Ok();
+}
+
+}  // namespace publishing

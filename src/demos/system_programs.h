@@ -1,0 +1,109 @@
+// The DEMOS system processes (§4.2.1, §4.2.3): user-level processes that
+// provide "structure and policy" above the kernel's primitives.
+//
+//   * ProcessManagerProgram — entry point for process-control requests;
+//     tracks per-job resource limits and forwards create requests down the
+//     chain (§4.2.3: "the request is then passed through the three
+//     processes, each performing its particular function").
+//   * MemorySchedulerProgram — picks the node for a new process (§4.3.2) and
+//     forwards the request to that node's kernel process.
+//   * NamedLinkServerProgram — the rendezvous service (§4.2.2.1): processes
+//     register links under names; others look them up.
+//
+// Because these are ordinary deterministic UserPrograms, they are themselves
+// recoverable by publishing — crashing the process manager mid-creation and
+// recovering it is one of the integration tests.
+
+#ifndef SRC_DEMOS_SYSTEM_PROGRAMS_H_
+#define SRC_DEMOS_SYSTEM_PROGRAMS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/demos/program.h"
+#include "src/demos/protocol.h"
+
+namespace publishing {
+
+// Channel on which the named-link server accepts requests.
+inline constexpr uint16_t kNameServiceChannel = 998;
+
+// Named-link server wire protocol.
+enum class NameOp : uint8_t {
+  kRegister = 1,  // Body: name; passed link: the link to register.
+  kLookup = 2,    // Body: name; passed link: reply link.
+  kReply = 3,     // Body: name + found flag; passed link: the registered link.
+};
+
+Bytes EncodeNameRegister(const std::string& name);
+Bytes EncodeNameLookup(const std::string& name);
+struct NameReply {
+  std::string name;
+  bool found = false;
+};
+Bytes EncodeNameReply(const NameReply& reply);
+Result<NameReply> DecodeNameReply(const Bytes& body);
+// Decodes the name out of a register/lookup request.
+Result<std::string> DecodeNameRequest(const Bytes& body);
+
+class ProcessManagerProgram : public UserProgram {
+ public:
+  // Initial link 1: the memory scheduler.
+  static constexpr uint32_t kSchedulerLink = 1;
+
+  void OnStart(KernelApi& api) override;
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override;
+  void SaveState(Writer& w) const override;
+  Status LoadState(Reader& r) override;
+
+  uint64_t forwarded() const { return forwarded_; }
+  void set_job_limit(uint32_t limit) { job_limit_ = limit; }
+
+ private:
+  uint64_t forwarded_ = 0;
+  uint32_t job_limit_ = 0;  // 0 = unlimited processes per requesting job.
+  // Live process count per job (keyed by requester origin-node+local).
+  std::map<uint64_t, uint32_t> job_counts_;
+};
+
+class MemorySchedulerProgram : public UserProgram {
+ public:
+  // Initial links 1..N: kernel processes, in cluster node order.
+
+  void OnStart(KernelApi& api) override;
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override;
+  void SaveState(Writer& w) const override;
+  Status LoadState(Reader& r) override;
+
+  uint64_t scheduled() const { return scheduled_; }
+
+ private:
+  Result<LinkId> LinkForNode(KernelApi& api, NodeId node) const;
+
+  uint64_t scheduled_ = 0;
+  uint64_t round_robin_ = 0;  // Placement cursor for kAnyNode requests.
+  std::vector<std::pair<uint32_t, uint32_t>> node_links_;  // (node, link id).
+};
+
+class NamedLinkServerProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override;
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override;
+  std::vector<uint16_t> ReceiveChannels() const override { return {kNameServiceChannel}; }
+  void SaveState(Writer& w) const override;
+  Status LoadState(Reader& r) override;
+
+  size_t registered_count() const { return names_.size(); }
+
+ private:
+  // Registered links stay in the server's kernel link table (where the
+  // capability actually lives and gets checkpointed); program state only
+  // remembers which slot holds which name.
+  std::map<std::string, uint32_t> names_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_SYSTEM_PROGRAMS_H_

@@ -1,0 +1,75 @@
+#include "src/net/ethernet.h"
+
+#include <unordered_set>
+
+namespace publishing {
+
+void Ethernet::Send(Frame frame) {
+  if (options_.acknowledging && frame.type == FrameType::kAck) {
+    // Reserved-slot transmission: no contention, no channel occupancy beyond
+    // the (already accounted) ack slot of the frame being acknowledged.
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.WireBytes();
+    Frame copy = std::move(frame);
+    sim()->ScheduleAfter(Micros(10), [this, copy = std::move(copy)]() mutable {
+      RunListeners(copy);  // The recorder still overhears acks (§4.4.1).
+      DeliverToStations(copy);
+    });
+    return;
+  }
+  queue_.push_back(Pending{std::move(frame), sim()->Now()});
+  StartNext();
+}
+
+void Ethernet::StartNext() {
+  if (transmitting_ || queue_.empty()) {
+    return;
+  }
+  transmitting_ = true;
+  stats_.channel.SetBusy(sim()->Now(), true);
+
+  // CSMA contention: if several distinct stations hold queued frames, they
+  // all attempt when the channel goes idle; each collision round wastes one
+  // slot time until a single winner remains.
+  std::unordered_set<uint32_t> contenders;
+  for (const Pending& p : queue_) {
+    contenders.insert(p.frame.src.value);
+  }
+  SimDuration contention = 0;
+  if (contenders.size() >= 2) {
+    const double collide_p = 1.0 - 1.0 / static_cast<double>(contenders.size());
+    while (fault_rng().NextBernoulli(collide_p)) {
+      contention += options_.slot_time;
+      ++stats_.collisions;
+    }
+  }
+
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+
+  SimDuration occupancy = contention + timings().TransmitTime(pending.frame.WireBytes());
+  if (options_.acknowledging) {
+    occupancy += options_.ack_slot;
+  }
+  ++stats_.frames_sent;
+  stats_.bytes_sent += pending.frame.WireBytes();
+
+  sim()->ScheduleAfter(occupancy, [this, frame = std::move(pending.frame)]() mutable {
+    CompleteTransmission(std::move(frame));
+  });
+}
+
+void Ethernet::CompleteTransmission(Frame frame) {
+  bool recorded = RunListeners(frame);
+  if (recorded || !options_.recorder_gating || !HasListeners()) {
+    DeliverToStations(frame);
+  } else {
+    ++stats_.frames_vetoed;
+  }
+  transmitting_ = false;
+  stats_.channel.SetBusy(sim()->Now(), false);
+  StartNext();
+}
+
+}  // namespace publishing

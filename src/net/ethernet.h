@@ -1,0 +1,68 @@
+// CSMA/CD broadcast Ethernet and the Acknowledging Ethernet variant.
+//
+// Standard Ethernet (§6.1.1): stations contend for the channel; overlapping
+// attempts collide, wasting slot times before one wins.  Transport
+// acknowledgements are ordinary frames, so under load they collide with data
+// frames (the Figure 6.2 pathology).
+//
+// Acknowledging Ethernet (Tokoro & Tamaru, as adapted in §6.1.1): a time
+// slot is reserved after every frame during which only the receiver — and,
+// for publishing, the recorder — may transmit.  Acks therefore never collide,
+// and the recorder's publication acknowledgement rides the reserved slot: if
+// the recorder fails to record a frame, no recorder-ack appears in the slot
+// and the receiver discards the frame exactly as if it had been damaged.
+
+#ifndef SRC_NET_ETHERNET_H_
+#define SRC_NET_ETHERNET_H_
+
+#include <deque>
+
+#include "src/net/medium.h"
+
+namespace publishing {
+
+struct EthernetOptions {
+  // Reserved-ack-slot variant (§6.1.1).  When true, frames of FrameType::kAck
+  // use the reserved slot: they do not contend for the channel and cannot
+  // collide; every data frame's channel occupancy grows by `ack_slot`.
+  bool acknowledging = false;
+
+  // When true and a promiscuous listener (recorder) is attached, frames the
+  // listener fails to record are vetoed: no station receives them and the
+  // sender's transport must retransmit (§4.4.1).
+  bool recorder_gating = true;
+
+  // CSMA contention slot (classic Ethernet slot time, 51.2 us at 10 Mbit).
+  SimDuration slot_time = Micros(51);
+
+  // Width of the reserved acknowledgement slot.
+  SimDuration ack_slot = Micros(76);
+};
+
+class Ethernet : public Medium {
+ public:
+  Ethernet(Simulator* sim, MediumTimings timings, MediumFaults faults, uint64_t fault_seed,
+           EthernetOptions options = {})
+      : Medium(sim, timings, faults, fault_seed), options_(options) {}
+
+  void Send(Frame frame) override;
+
+  const EthernetOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    Frame frame;
+    SimTime enqueued;
+  };
+
+  void StartNext();
+  void CompleteTransmission(Frame frame);
+
+  EthernetOptions options_;
+  std::deque<Pending> queue_;
+  bool transmitting_ = false;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_NET_ETHERNET_H_

@@ -1,0 +1,19 @@
+#include "src/net/frame.h"
+
+namespace publishing {
+
+const char* FrameTypeName(FrameType type) {
+  switch (type) {
+    case FrameType::kData:
+      return "DATA";
+    case FrameType::kAck:
+      return "ACK";
+    case FrameType::kControl:
+      return "CONTROL";
+    case FrameType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "?";
+}
+
+}  // namespace publishing

@@ -1,0 +1,50 @@
+// Wire frames exchanged on a simulated medium.
+//
+// A frame is the unit the recorder overhears: the publishing model (§3.1)
+// needs every inter-process message — and every transport acknowledgement,
+// since acks reveal receive order (§4.4.1) — to appear on the wire as a
+// frame the recorder can copy or veto.
+
+#ifndef SRC_NET_FRAME_H_
+#define SRC_NET_FRAME_H_
+
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/common/serialization.h"
+
+namespace publishing {
+
+// Destination address meaning "every station".
+inline constexpr NodeId kBroadcastNode{0xFFFFFFFFu};
+
+// Coarse frame class, visible to media for statistics; the payload contents
+// are owned by the transport layer.
+enum class FrameType : uint8_t {
+  kData = 0,       // Transport data packet (guaranteed or unguaranteed).
+  kAck = 1,        // Transport end-to-end acknowledgement.
+  kControl = 2,    // Watchdog / recovery-manager control traffic.
+  kCheckpoint = 3, // Checkpoint pages sent to the recorder.
+};
+
+const char* FrameTypeName(FrameType type);
+
+struct Frame {
+  NodeId src;
+  NodeId dst = kBroadcastNode;
+  FrameType type = FrameType::kData;
+  // Link-layer payload (already CRC-wrapped by the link layer).
+  Bytes payload;
+  // Set by fault injection when the copy handed to a receiver was damaged in
+  // flight; the link layer CRC check will reject it.
+  bool corrupted = false;
+
+  // Physical size on the wire: payload plus preamble/addresses/type header.
+  size_t WireBytes() const { return payload.size() + kHeaderBytes; }
+
+  static constexpr size_t kHeaderBytes = 18;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_NET_FRAME_H_

@@ -1,0 +1,48 @@
+#include "src/net/link_layer.h"
+
+#include "src/common/checksum.h"
+
+namespace publishing {
+
+Bytes LinkWrap(const Bytes& body) {
+  Bytes out = body;
+  uint32_t crc = Crc32(std::span<const uint8_t>(body.data(), body.size()));
+  for (size_t i = 0; i < 4; ++i) {
+    out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+  }
+  return out;
+}
+
+Result<Bytes> LinkUnwrap(const Bytes& payload) {
+  if (payload.size() < 4) {
+    return Status(StatusCode::kCorrupt, "frame shorter than CRC trailer");
+  }
+  const size_t body_len = payload.size() - 4;
+  uint32_t stored = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    stored |= static_cast<uint32_t>(payload[body_len + i]) << (8 * i);
+  }
+  uint32_t computed = Crc32(std::span<const uint8_t>(payload.data(), body_len));
+  if (stored != computed) {
+    return Status(StatusCode::kCorrupt, "CRC mismatch");
+  }
+  return Bytes(payload.begin(), payload.begin() + static_cast<ptrdiff_t>(body_len));
+}
+
+void LinkInvalidate(Bytes& payload) {
+  if (payload.size() < 4) {
+    return;
+  }
+  for (size_t i = payload.size() - 4; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(~payload[i]);
+  }
+}
+
+void LinkCorruptByte(Bytes& payload, size_t index) {
+  if (payload.empty()) {
+    return;
+  }
+  payload[index % payload.size()] ^= 0x5A;
+}
+
+}  // namespace publishing

@@ -1,0 +1,35 @@
+// Link layer: CRC framing (§4.3.3 "wrapping all messages with a rotating
+// checksum... messages with an incorrect checksum are discarded").
+//
+// The CRC is genuinely computed and checked: fault injection damages payload
+// bytes in flight and the receiving link layer must catch it.  The token ring
+// recorder-veto (§6.1.2) deliberately complements the trailing CRC bytes so
+// that "if the recorder could not successfully read it, neither will the
+// receiver".
+
+#ifndef SRC_NET_LINK_LAYER_H_
+#define SRC_NET_LINK_LAYER_H_
+
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+
+namespace publishing {
+
+// Appends a CRC32 trailer to `body` producing a link-layer payload.
+Bytes LinkWrap(const Bytes& body);
+
+// Validates and strips the CRC trailer.  Returns kCorrupt if the trailer is
+// missing or does not match.
+Result<Bytes> LinkUnwrap(const Bytes& payload);
+
+// Complements the CRC trailer in place, guaranteeing validation failure
+// (used by the token-ring recorder to invalidate frames it missed, §6.1.2).
+void LinkInvalidate(Bytes& payload);
+
+// Damages one payload byte in place (fault-injection helper); position is
+// chosen by the caller, typically from a seeded Rng.
+void LinkCorruptByte(Bytes& payload, size_t index);
+
+}  // namespace publishing
+
+#endif  // SRC_NET_LINK_LAYER_H_

@@ -1,0 +1,46 @@
+#include "src/net/star_hub.h"
+
+namespace publishing {
+
+void StarHub::Send(Frame frame) {
+  queue_.push_back(Pending{std::move(frame), sim()->Now()});
+  StartNext();
+}
+
+void StarHub::StartNext() {
+  if (busy_ || queue_.empty()) {
+    return;
+  }
+  busy_ = true;
+  stats_.channel.SetBusy(sim()->Now(), true);
+
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+
+  ++stats_.frames_sent;
+  stats_.bytes_sent += pending.frame.WireBytes();
+
+  // Leg 1: source to hub.
+  const SimDuration leg = timings().TransmitTime(pending.frame.WireBytes());
+  sim()->ScheduleAfter(leg, [this, frame = std::move(pending.frame), leg]() mutable {
+    // The hub is the recorder: record (or fail to) before forwarding.
+    bool recorded = RunListeners(frame);
+    if (!recorded && HasListeners()) {
+      ++stats_.frames_vetoed;
+      busy_ = false;
+      stats_.channel.SetBusy(sim()->Now(), false);
+      StartNext();
+      return;
+    }
+    // Leg 2: hub to destination.
+    sim()->ScheduleAfter(leg, [this, frame = std::move(frame)]() mutable {
+      DeliverToStations(frame);
+      busy_ = false;
+      stats_.channel.SetBusy(sim()->Now(), false);
+      StartNext();
+    });
+  });
+}
+
+}  // namespace publishing

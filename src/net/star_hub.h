@@ -1,0 +1,41 @@
+// Star configuration with the recorder as hub (§4.1, Figure 4.1a).
+//
+// "We accomplish this by making the recording node the hub of a star
+// configuration.  Any messages received incorrectly by the recorder are not
+// passed on."  Every frame crosses two links (source→hub, hub→destination);
+// the hub runs the promiscuous listeners between the two legs and drops the
+// frame if recording failed, so the sender's transport retransmits.
+
+#ifndef SRC_NET_STAR_HUB_H_
+#define SRC_NET_STAR_HUB_H_
+
+#include <deque>
+
+#include "src/net/medium.h"
+
+namespace publishing {
+
+class StarHub : public Medium {
+ public:
+  StarHub(Simulator* sim, MediumTimings timings, MediumFaults faults, uint64_t fault_seed)
+      : Medium(sim, timings, faults, fault_seed) {}
+
+  void Send(Frame frame) override;
+
+ private:
+  struct Pending {
+    Frame frame;
+    SimTime enqueued;
+  };
+
+  void StartNext();
+
+  // Hub forwarding is serialized: the recorder node copies each frame to its
+  // log before relaying it, one at a time.
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_NET_STAR_HUB_H_

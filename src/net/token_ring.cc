@@ -1,0 +1,96 @@
+#include "src/net/token_ring.h"
+
+#include "src/net/link_layer.h"
+
+namespace publishing {
+
+void TokenRing::Send(Frame frame) {
+  queue_.push_back(Pending{std::move(frame), sim()->Now()});
+  StartNext();
+}
+
+size_t TokenRing::RingIndexOf(NodeId node) const {
+  const auto& order = attach_order();
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (order[i] == node) {
+      return i;
+    }
+  }
+  return 0;
+}
+
+size_t TokenRing::HopsBetween(size_t from, size_t to) const {
+  const size_t n = attach_order().size();
+  if (n == 0) {
+    return 0;
+  }
+  size_t hops = (to + n - from) % n;
+  return hops == 0 ? n : hops;
+}
+
+void TokenRing::StartNext() {
+  if (token_held_ || queue_.empty()) {
+    return;
+  }
+  token_held_ = true;
+  stats_.channel.SetBusy(sim()->Now(), true);
+
+  Pending pending = std::move(queue_.front());
+  queue_.pop_front();
+  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+
+  const size_t n = attach_order().empty() ? 1 : attach_order().size();
+  const size_t sender = RingIndexOf(pending.frame.src);
+  // Mean token-acquisition wait: half a rotation.
+  const SimDuration token_wait = options_.hop_delay * static_cast<SimDuration>(n) / 2;
+  const SimDuration transmit = timings().TransmitTime(pending.frame.WireBytes());
+  const SimDuration rotation = options_.hop_delay * static_cast<SimDuration>(n);
+
+  ++stats_.frames_sent;
+  stats_.bytes_sent += pending.frame.WireBytes();
+
+  const size_t hops_to_recorder = HopsBetween(sender, options_.recorder_position % n);
+  const SimTime start = sim()->Now() + token_wait + transmit;
+
+  // Recorder pass: record (or invalidate) when the frame reaches the
+  // recorder's ring position.
+  sim()->ScheduleAt(
+      start + options_.hop_delay * static_cast<SimDuration>(hops_to_recorder),
+      [this, frame = pending.frame, start, sender, hops_to_recorder, rotation, n]() mutable {
+        bool recorded = !HasListeners() || RunListeners(frame);
+        if (!recorded) {
+          // Complement the checksum: the destination will reject the frame.
+          LinkInvalidate(frame.payload);
+          frame.corrupted = true;
+          ++stats_.frames_vetoed;
+        }
+        // Delivery pass.
+        SimDuration delivery_offset;
+        if (frame.dst == kBroadcastNode) {
+          delivery_offset = rotation;
+        } else {
+          const size_t hops_to_dst = HopsBetween(sender, RingIndexOf(frame.dst));
+          if (hops_to_dst >= hops_to_recorder) {
+            delivery_offset = options_.hop_delay * static_cast<SimDuration>(hops_to_dst);
+          } else {
+            // Destination precedes the recorder: it ignores the unacked frame
+            // on the first pass and reads it one rotation later.
+            delivery_offset =
+                options_.hop_delay * static_cast<SimDuration>(hops_to_dst + n);
+            ++extra_rotations_;
+          }
+        }
+        sim()->ScheduleAt(start + delivery_offset, [this, frame = std::move(frame)]() mutable {
+          DeliverToStations(frame);
+        });
+      });
+
+  // The sender removes the frame when it returns and reinserts the token.
+  sim()->ScheduleAt(start + rotation, [this] {
+    token_held_ = false;
+    stats_.channel.SetBusy(sim()->Now(), false);
+    StartNext();
+  });
+}
+
+}  // namespace publishing

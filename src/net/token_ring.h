@@ -1,0 +1,65 @@
+// Token ring with a recorder acknowledge field (§6.1.2, Figures 6.3/6.4).
+//
+// Stations sit on a ring in attach order; a single token circulates.  A
+// sender waits for the token, fills the slot, and the frame travels around
+// the ring.  Frames whose acknowledge field is empty are ignored by every
+// station except the recorder; when the frame passes the recorder it is
+// recorded and the ack field is filled.  If the recorder received it
+// incorrectly, it complements the trailing checksum so the destination —
+// which only reads the frame after the ack field is set — rejects it too
+// ("if the recorder could not successfully read it, neither will the
+// receiver").
+//
+// Geometry consequence modeled here: the destination reads the frame on the
+// first pass only if it lies downstream of the recorder on the sender→ring
+// path; otherwise the frame reaches it before the ack is filled and delivery
+// happens a full extra rotation later.
+
+#ifndef SRC_NET_TOKEN_RING_H_
+#define SRC_NET_TOKEN_RING_H_
+
+#include <deque>
+
+#include "src/net/medium.h"
+
+namespace publishing {
+
+struct TokenRingOptions {
+  // Per-hop propagation + station latch delay.
+  SimDuration hop_delay = Micros(20);
+  // Ring position (attach order index) of the recorder station.  Frames get
+  // their ack field filled when passing this position.  Ignored when no
+  // promiscuous listener is attached.
+  size_t recorder_position = 0;
+};
+
+class TokenRing : public Medium {
+ public:
+  TokenRing(Simulator* sim, MediumTimings timings, MediumFaults faults, uint64_t fault_seed,
+            TokenRingOptions options = {})
+      : Medium(sim, timings, faults, fault_seed), options_(options) {}
+
+  void Send(Frame frame) override;
+
+  // Extra full rotations paid because the destination preceded the recorder.
+  uint64_t extra_rotations() const { return extra_rotations_; }
+
+ private:
+  struct Pending {
+    Frame frame;
+    SimTime enqueued;
+  };
+
+  void StartNext();
+  size_t RingIndexOf(NodeId node) const;
+  size_t HopsBetween(size_t from, size_t to) const;
+
+  TokenRingOptions options_;
+  std::deque<Pending> queue_;
+  bool token_held_ = false;
+  uint64_t extra_rotations_ = 0;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_NET_TOKEN_RING_H_

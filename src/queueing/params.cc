@@ -1,0 +1,31 @@
+#include "src/queueing/params.h"
+
+namespace publishing {
+
+double MeanStateBytes() {
+  double mean = 0.0;
+  for (const StateSizeBucket& bucket : StateSizeDistribution()) {
+    mean += static_cast<double>(bucket.bytes) * bucket.fraction;
+  }
+  return mean;
+}
+
+std::vector<OperatingPoint> StandardOperatingPoints() {
+  return {
+      // The week-long mean: a moderately loaded multi-user VAX.
+      {"mean", 3.0, 50.0, 16.0, 23.0, 0},
+      // Peak number of runnable processes (interactive burst).
+      {"max-load-average", 12.0, 75.0, 18.0, 23.0, 0},
+      // Peak state sizes (large editors/compilers); traffic as at the mean,
+      // but every checkpoint is a full 64 KB image.
+      {"max-state-size", 3.0, 50.0, 16.0, 23.0, 64 * 1024},
+      // Peak system-call rate (the short-message storm of §5.1 whose
+      // saturation "cannot be removed by any simple optimizations").
+      {"max-syscall-rate", 4.0, 130.0, 10.0, 23.0, 0},
+      // Peak disk access rate (the disk-to-tape backups of §6.6.1); long
+      // messages dominate and saturate an unbuffered disk.
+      {"max-disk-rate", 3.0, 30.0, 60.0, 23.0, 0},
+  };
+}
+
+}  // namespace publishing

@@ -1,0 +1,207 @@
+// Deterministic discrete-event simulator.
+//
+// Everything in the reproduction — network media, transport retransmission
+// timers, watchdog timeouts, disk service times, user-program execution —
+// runs as events on one of these.  Events scheduled for the same instant fire
+// in scheduling order (a stable sequence number breaks ties), which makes
+// whole-system runs bit-for-bit reproducible; the crash/recovery equivalence
+// tests depend on that.
+
+#ifndef SRC_SIM_SIMULATOR_H_
+#define SRC_SIM_SIMULATOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace publishing {
+
+// Token for cancelling a scheduled event.
+struct EventId {
+  uint64_t value = 0;
+
+  bool IsValid() const { return value != 0; }
+
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `action` to run at absolute time `when` (>= Now()).
+  EventId ScheduleAt(SimTime when, Action action) {
+    assert(when >= now_ && "cannot schedule into the past");
+    EventId id{++next_id_};
+    queue_.push(Event{when, id.value, std::move(action)});
+    ++pending_;
+    return id;
+  }
+
+  // Schedules `action` to run `delay` from now.
+  EventId ScheduleAfter(SimDuration delay, Action action) {
+    return ScheduleAt(now_ + delay, std::move(action));
+  }
+
+  // Cancels a pending event.  Returns false if the event already ran or was
+  // already cancelled.  (Lazy cancellation: the entry stays queued but is
+  // skipped when popped.)
+  bool Cancel(EventId id) {
+    if (!id.IsValid() || id.value > next_id_) {
+      return false;
+    }
+    if (cancelled_.size() <= id.value) {
+      cancelled_.resize(next_id_ + 1, false);
+    }
+    if (fired_.size() <= id.value) {
+      fired_.resize(next_id_ + 1, false);
+    }
+    if (cancelled_[id.value] || fired_[id.value]) {
+      return false;
+    }
+    cancelled_[id.value] = true;
+    --pending_;
+    return true;
+  }
+
+  // Runs the single next event.  Returns false if the queue is empty.
+  bool Step() {
+    while (!queue_.empty()) {
+      Event ev = queue_.top();
+      queue_.pop();
+      if (IsCancelled(ev.id)) {
+        continue;
+      }
+      MarkFired(ev.id);
+      --pending_;
+      assert(ev.when >= now_);
+      now_ = ev.when;
+      ev.action();
+      return true;
+    }
+    return false;
+  }
+
+  // Runs events until the queue drains.
+  void Run() {
+    while (Step()) {
+    }
+  }
+
+  // Runs events with firing time <= `deadline`, then advances the clock to
+  // `deadline` (even if the queue drained earlier).
+  void RunUntil(SimTime deadline) {
+    while (!queue_.empty()) {
+      const Event& top = queue_.top();
+      if (IsCancelled(top.id)) {
+        queue_.pop();
+        continue;
+      }
+      if (top.when > deadline) {
+        break;
+      }
+      Step();
+    }
+    if (now_ < deadline) {
+      now_ = deadline;
+    }
+  }
+
+  void RunFor(SimDuration span) { RunUntil(now_ + span); }
+
+  size_t pending_events() const { return pending_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    uint64_t id;
+    Action action;
+
+    // std::priority_queue is a max-heap; invert so the earliest time (and,
+    // within a time, the lowest id, i.e. FIFO) comes out first.
+    bool operator<(const Event& other) const {
+      if (when != other.when) {
+        return when > other.when;
+      }
+      return id > other.id;
+    }
+  };
+
+  bool IsCancelled(uint64_t id) const { return id < cancelled_.size() && cancelled_[id]; }
+  void MarkFired(uint64_t id) {
+    if (fired_.size() <= id) {
+      fired_.resize(id + 1, false);
+    }
+    fired_[id] = true;
+  }
+
+  SimTime now_ = 0;
+  uint64_t next_id_ = 0;
+  size_t pending_ = 0;
+  std::priority_queue<Event> queue_;
+  std::vector<bool> cancelled_;
+  std::vector<bool> fired_;
+};
+
+// Re-arms itself every `period` until stopped.  Used for watchdog "are you
+// alive" probes (§4.6) and keep-alive traffic (§3.3.2).
+class PeriodicTask {
+ public:
+  PeriodicTask(Simulator* sim, SimDuration period, std::function<void()> body)
+      : sim_(sim), period_(period), body_(std::move(body)) {}
+
+  ~PeriodicTask() { Stop(); }
+
+  PeriodicTask(const PeriodicTask&) = delete;
+  PeriodicTask& operator=(const PeriodicTask&) = delete;
+
+  void Start() {
+    if (!running_) {
+      running_ = true;
+      Arm();
+    }
+  }
+
+  void Stop() {
+    if (running_) {
+      running_ = false;
+      sim_->Cancel(pending_);
+      pending_ = EventId{};
+    }
+  }
+
+  bool running() const { return running_; }
+
+ private:
+  void Arm() {
+    pending_ = sim_->ScheduleAfter(period_, [this] {
+      if (!running_) {
+        return;
+      }
+      body_();
+      if (running_) {
+        Arm();
+      }
+    });
+  }
+
+  Simulator* sim_;
+  SimDuration period_;
+  std::function<void()> body_;
+  bool running_ = false;
+  EventId pending_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_SIM_SIMULATOR_H_

@@ -1,0 +1,83 @@
+// Statistics helpers for the performance studies (Chapter 5).
+
+#ifndef SRC_SIM_STATS_H_
+#define SRC_SIM_STATS_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+
+#include "src/sim/time.h"
+
+namespace publishing {
+
+// Accumulates scalar samples: count / mean / min / max.
+class StatAccumulator {
+ public:
+  void Add(double sample) {
+    ++count_;
+    sum_ += sample;
+    min_ = std::min(min_, sample);
+    max_ = std::max(max_, sample);
+  }
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_); }
+  double min() const { return count_ == 0 ? 0.0 : min_; }
+  double max() const { return count_ == 0 ? 0.0 : max_; }
+
+  void Reset() { *this = StatAccumulator(); }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Tracks the fraction of virtual time a resource spends busy — the
+// "% utilization" metric of Figure 5.5.  Call SetBusy(...) on every state
+// change and Finish(now) before reading.
+class UtilizationTracker {
+ public:
+  explicit UtilizationTracker(SimTime start = 0) : last_change_(start) {}
+
+  void SetBusy(SimTime now, bool busy) {
+    Account(now);
+    busy_ = busy;
+  }
+
+  void Finish(SimTime now) { Account(now); }
+
+  // Busy fraction over [start, last Finish/SetBusy], in [0, 1].
+  double Utilization() const {
+    SimDuration total = busy_time_ + idle_time_;
+    if (total == 0) {
+      return 0.0;
+    }
+    return static_cast<double>(busy_time_) / static_cast<double>(total);
+  }
+
+  SimDuration busy_time() const { return busy_time_; }
+
+ private:
+  void Account(SimTime now) {
+    SimDuration span = now - last_change_;
+    if (busy_) {
+      busy_time_ += span;
+    } else {
+      idle_time_ += span;
+    }
+    last_change_ = now;
+  }
+
+  SimTime last_change_;
+  SimDuration busy_time_ = 0;
+  SimDuration idle_time_ = 0;
+  bool busy_ = false;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_SIM_STATS_H_

@@ -1,0 +1,178 @@
+#include "src/transport/endpoint.h"
+
+#include <algorithm>
+
+#include "src/common/logging.h"
+
+namespace publishing {
+
+TransportEndpoint::TransportEndpoint(Simulator* sim, Medium* medium, NodeId node,
+                                     TransportOptions options,
+                                     std::function<void(const Packet&)> deliver)
+    : sim_(sim), medium_(medium), node_(node), options_(options), deliver_(std::move(deliver)) {
+  medium_->Attach(this);
+}
+
+TransportEndpoint::~TransportEndpoint() { medium_->Detach(node_); }
+
+void TransportEndpoint::Send(Packet packet) {
+  packet.header.src_node = node_;
+  if (!packet.header.guaranteed()) {
+    // "Unguaranteed messages exist ... for sending dated or statistical
+    // information": transmit immediately, never retransmit.
+    Frame frame;
+    frame.src = node_;
+    frame.dst = packet.header.dst_node;
+    frame.type = packet.header.control() ? FrameType::kControl : FrameType::kData;
+    frame.payload = LinkWrap(SerializePacket(packet));
+    ++stats_.data_sent;
+    medium_->Send(std::move(frame));
+    return;
+  }
+  send_queue_.push_back(std::move(packet));
+  TrySendNext();
+}
+
+void TransportEndpoint::Reset() {
+  for (InFlight& inflight : in_flight_) {
+    sim_->Cancel(inflight.timer);
+  }
+  in_flight_.clear();
+  send_queue_.clear();
+  dup_cache_.clear();
+  dup_order_.clear();
+}
+
+void TransportEndpoint::TrySendNext() {
+  for (auto it = send_queue_.begin(); it != send_queue_.end();) {
+    const NodeId dst = it->header.dst_node;
+    size_t outstanding = 0;
+    for (const InFlight& inflight : in_flight_) {
+      if (inflight.packet.header.dst_node == dst) {
+        ++outstanding;
+      }
+    }
+    if (outstanding >= options_.window) {
+      ++it;
+      continue;
+    }
+    InFlight inflight;
+    inflight.packet = std::move(*it);
+    it = send_queue_.erase(it);
+    inflight.timeout = options_.retransmit_timeout;
+    in_flight_.push_back(std::move(inflight));
+    TransmitInFlight(in_flight_.size() - 1);
+  }
+}
+
+void TransportEndpoint::TransmitInFlight(size_t index) {
+  InFlight& inflight = in_flight_[index];
+  Frame frame;
+  frame.src = node_;
+  frame.dst = inflight.packet.header.dst_node;
+  frame.type =
+      inflight.packet.header.control() ? FrameType::kControl : FrameType::kData;
+  frame.payload = LinkWrap(SerializePacket(inflight.packet));
+  ++stats_.data_sent;
+  medium_->Send(std::move(frame));
+
+  const MessageId id = inflight.packet.header.id;
+  inflight.timer = sim_->ScheduleAfter(inflight.timeout, [this, id] { OnRetransmitTimer(id); });
+}
+
+void TransportEndpoint::OnRetransmitTimer(MessageId id) {
+  if (!online_) {
+    return;
+  }
+  for (size_t i = 0; i < in_flight_.size(); ++i) {
+    if (in_flight_[i].packet.header.id == id) {
+      ++stats_.retransmits;
+      in_flight_[i].timeout =
+          std::min(in_flight_[i].timeout * 2, options_.max_retransmit_timeout);
+      TransmitInFlight(i);
+      return;
+    }
+  }
+}
+
+void TransportEndpoint::OnFrame(const Frame& frame) {
+  if (!online_) {
+    return;
+  }
+  Bytes payload = frame.payload;
+  if (frame.corrupted) {
+    // Fault injection damaged our copy; let the CRC catch it.
+    LinkCorruptByte(payload, static_cast<size_t>(frame.payload.size() / 2));
+  }
+  auto body = LinkUnwrap(payload);
+  if (!body.ok()) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  if (frame.type == FrameType::kAck) {
+    auto ack = ParseAck(*body);
+    if (!ack.ok()) {
+      ++stats_.corrupt_dropped;
+      return;
+    }
+    if (ack->to == node_) {
+      HandleAck(*ack);
+    }
+    return;
+  }
+  auto packet = ParsePacket(*body);
+  if (!packet.ok()) {
+    ++stats_.corrupt_dropped;
+    return;
+  }
+  if (packet->header.dst_node == node_ || packet->header.dst_node == kBroadcastNode) {
+    HandleData(*packet);
+  }
+}
+
+void TransportEndpoint::HandleData(const Packet& packet) {
+  if (packet.header.guaranteed()) {
+    // Acknowledge even duplicates: the original ack may have been lost.
+    AckPacket ack{packet.header.id, node_, packet.header.src_node};
+    Frame frame;
+    frame.src = node_;
+    frame.dst = packet.header.src_node;
+    frame.type = FrameType::kAck;
+    frame.payload = LinkWrap(SerializeAck(ack));
+    ++stats_.acks_sent;
+    medium_->Send(std::move(frame));
+  }
+  if (!packet.header.replay()) {
+    if (SeenId(packet.header.id)) {
+      ++stats_.duplicates_suppressed;
+      return;
+    }
+    RememberId(packet.header.id);
+  }
+  ++stats_.data_delivered;
+  deliver_(packet);
+}
+
+void TransportEndpoint::HandleAck(const AckPacket& ack) {
+  for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
+    if (it->packet.header.id == ack.acked) {
+      sim_->Cancel(it->timer);
+      in_flight_.erase(it);
+      TrySendNext();
+      return;
+    }
+  }
+}
+
+void TransportEndpoint::RememberId(const MessageId& id) {
+  dup_cache_.insert(id);
+  dup_order_.push_back(id);
+  while (dup_order_.size() > options_.dup_cache_size) {
+    dup_cache_.erase(dup_order_.front());
+    dup_order_.pop_front();
+  }
+}
+
+bool TransportEndpoint::SeenId(const MessageId& id) const { return dup_cache_.contains(id); }
+
+}  // namespace publishing

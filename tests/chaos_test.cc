@@ -1,0 +1,141 @@
+// Chaos soak: everything that can crash, crashes — processes, whole nodes,
+// and the recorder itself, in randomized order, repeatedly, while a
+// multi-process workload runs across 4 nodes.  The run must still converge
+// to the exact crash-free outcome.  This is the paper's thesis statement
+// executed adversarially.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/core/publishing_system.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+struct ChaosWorld {
+  explicit ChaosWorld(uint64_t seed) {
+    PublishingSystemConfig config;
+    config.cluster.node_count = 4;
+    config.cluster.start_system_processes = false;
+    config.cluster.seed = seed;
+    config.recovery.watchdog_timeout = Millis(600);
+    system = std::make_unique<PublishingSystem>(config);
+    auto& registry = system->cluster().registry();
+    registry.Register("echo", [] { return std::make_unique<EchoProgram>(); });
+    registry.Register("pinger-a", [] { return std::make_unique<PingerProgram>(40); });
+    registry.Register("pinger-b", [] { return std::make_unique<PingerProgram>(40); });
+    system->EnableCheckpointPolicy(std::make_unique<StorageBalancedPolicy>(), Millis(100));
+
+    // Two independent client/server pairs sharing the network.
+    echo_a = *system->cluster().Spawn(NodeId{3}, "echo");
+    echo_b = *system->cluster().Spawn(NodeId{4}, "echo");
+    pinger_a = *system->cluster().Spawn(NodeId{1}, "pinger-a", {Link{echo_a, 1, 0, 0}});
+    pinger_b = *system->cluster().Spawn(NodeId{2}, "pinger-b", {Link{echo_b, 1, 0, 0}});
+  }
+
+  struct Outcome {
+    uint64_t a_received = 0;
+    uint64_t b_received = 0;
+    uint64_t a_echoed = 0;
+    uint64_t b_echoed = 0;
+    Bytes a_state;
+    Bytes b_state;
+
+    friend bool operator==(const Outcome&, const Outcome&) = default;
+  };
+
+  Outcome Finish() {
+    system->RunFor(Seconds(2400));
+    Outcome outcome;
+    const auto* pa = dynamic_cast<const PingerProgram*>(
+        system->cluster().kernel(NodeId{1})->ProgramFor(pinger_a));
+    const auto* pb = dynamic_cast<const PingerProgram*>(
+        system->cluster().kernel(NodeId{2})->ProgramFor(pinger_b));
+    const auto* ea = dynamic_cast<const EchoProgram*>(
+        system->cluster().kernel(NodeId{3})->ProgramFor(echo_a));
+    const auto* eb = dynamic_cast<const EchoProgram*>(
+        system->cluster().kernel(NodeId{4})->ProgramFor(echo_b));
+    if (pa == nullptr || pb == nullptr || ea == nullptr || eb == nullptr) {
+      return outcome;
+    }
+    outcome.a_received = pa->received();
+    outcome.b_received = pb->received();
+    outcome.a_echoed = ea->echoed();
+    outcome.b_echoed = eb->echoed();
+    Writer wa;
+    pa->SaveState(wa);
+    outcome.a_state = wa.TakeBytes();
+    Writer wb;
+    pb->SaveState(wb);
+    outcome.b_state = wb.TakeBytes();
+    return outcome;
+  }
+
+  std::unique_ptr<PublishingSystem> system;
+  ProcessId echo_a, echo_b, pinger_a, pinger_b;
+};
+
+class ChaosSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosSweep, EverythingCrashesAndTheOutcomeIsStillExact) {
+  // Reference: the crash-free world.
+  ChaosWorld::Outcome reference = ChaosWorld(7).Finish();
+  ASSERT_EQ(reference.a_received, 40u);
+  ASSERT_EQ(reference.b_received, 40u);
+
+  // Chaos: 8 randomized fault events drawn from all fault classes.
+  ChaosWorld world(7);
+  Rng rng(GetParam());
+  bool recorder_down = false;
+  for (int event = 0; event < 8; ++event) {
+    world.system->RunFor(Millis(static_cast<int64_t>(40 + rng.NextBelow(250))));
+    switch (rng.NextBelow(recorder_down ? 6 : 5)) {
+      case 0:
+        world.system->CrashProcess(world.echo_a);
+        break;
+      case 1:
+        world.system->CrashProcess(world.echo_b);
+        break;
+      case 2:
+        world.system->CrashProcess(world.pinger_a);
+        break;
+      case 3:
+        world.system->CrashNode(NodeId{static_cast<uint32_t>(1 + rng.NextBelow(4))});
+        break;
+      case 4:
+        if (!recorder_down) {
+          world.system->CrashRecorder();
+          recorder_down = true;
+        }
+        break;
+      case 5:
+        world.system->RestartRecorder();
+        recorder_down = false;
+        break;
+    }
+    // Never leave the recorder down for long: nothing moves while it is out.
+    if (recorder_down && rng.NextBernoulli(0.7)) {
+      world.system->RunFor(Millis(static_cast<int64_t>(rng.NextBelow(300))));
+      world.system->RestartRecorder();
+      recorder_down = false;
+    }
+  }
+  if (recorder_down) {
+    world.system->RestartRecorder();
+  }
+
+  ChaosWorld::Outcome chaotic = world.Finish();
+  EXPECT_EQ(chaotic.a_received, 40u);
+  EXPECT_EQ(chaotic.b_received, 40u);
+  EXPECT_EQ(chaotic.a_echoed, reference.a_echoed) << "exactly-once on server A";
+  EXPECT_EQ(chaotic.b_echoed, reference.b_echoed) << "exactly-once on server B";
+  EXPECT_EQ(chaotic.a_state, reference.a_state) << "client A state bit-identical";
+  EXPECT_EQ(chaotic.b_state, reference.b_state) << "client B state bit-identical";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosSweep,
+                         ::testing::Values(1001, 2002, 3003, 4004, 5005, 6006, 7007, 8008));
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,118 @@
+// Tests for the analytic models in src/core: the §3.2.3 recovery-time bound
+// (including the worked example), Young's interval (§3.2.4), the checkpoint
+// policies, and the §5.2.2 publish-path costs.
+
+#include <gtest/gtest.h>
+
+#include "src/core/checkpoint_policy.h"
+#include "src/core/recorder.h"
+#include "src/core/recovery_time_model.h"
+
+namespace publishing {
+namespace {
+
+TEST(RecoveryTimeModel, WorkedExampleFromSection323) {
+  RecoveryTimeModel model;  // Defaults are the worked example's parameters.
+  model.OnCheckpoint(/*pages=*/4, /*now=*/0);
+
+  // "Immediately following the checkpoint, the recovery time is just the
+  // time to reload the checkpoint": 100ms + 4 pages x 10ms = 140ms.
+  EXPECT_EQ(ToMillis(model.MaxRecoveryTime(0)), 140.0);
+
+  // After 100ms of execution at f_cpu = 0.5: 140 + 200 = 340ms.
+  EXPECT_EQ(ToMillis(model.MaxRecoveryTime(Millis(100))), 340.0);
+
+  // After a 500-byte message: + t_mfix (2ms) + 500 x 0.01ms = +7ms.
+  model.OnMessage(500);
+  EXPECT_EQ(ToMillis(model.MaxRecoveryTime(Millis(100))), 347.0);
+}
+
+TEST(RecoveryTimeModel, ComponentsAreAdditive) {
+  RecoveryTimeModel model;
+  model.OnCheckpoint(2, Millis(50));
+  model.OnMessage(1000);
+  model.OnMessage(1000);
+  const SimTime now = Millis(150);
+  EXPECT_EQ(model.MaxRecoveryTime(now),
+            model.ReloadTime() + model.ReplayTime() + model.ComputeTime(now));
+  EXPECT_EQ(model.messages_since_checkpoint(), 2u);
+  EXPECT_EQ(model.bytes_since_checkpoint(), 2000u);
+}
+
+TEST(RecoveryTimeModel, CheckpointResetsAccumulators) {
+  RecoveryTimeModel model;
+  model.OnCheckpoint(4, 0);
+  model.OnMessage(100);
+  model.OnCheckpoint(4, Millis(10));
+  EXPECT_EQ(model.messages_since_checkpoint(), 0u);
+  EXPECT_EQ(ToMillis(model.ReplayTime()), 0.0);
+}
+
+TEST(Young, OptimalIntervalFormula) {
+  // sqrt(2 * 0.5s * 600s) = sqrt(600) ~= 24.5s.
+  SimDuration interval = YoungOptimalInterval(Millis(500), Seconds(600));
+  EXPECT_NEAR(ToSeconds(interval), 24.49, 0.05);
+}
+
+TEST(Young, OverheadCurveHasMinimumAtOptimum) {
+  const SimDuration save = Millis(500);
+  const SimDuration mtbf = Seconds(600);
+  const SimDuration young = YoungOptimalInterval(save, mtbf);
+  const double at_young = YoungExpectedOverheadFraction(young, save, mtbf);
+  EXPECT_LT(at_young, YoungExpectedOverheadFraction(young / 4, save, mtbf));
+  EXPECT_LT(at_young, YoungExpectedOverheadFraction(young * 4, save, mtbf));
+}
+
+TEST(CheckpointPolicies, FixedIntervalTriggersOnSchedule) {
+  FixedIntervalPolicy policy(Seconds(1));
+  CheckpointContext context;
+  context.last_checkpoint = 0;
+  context.now = Millis(500);
+  EXPECT_FALSE(policy.ShouldCheckpoint(context));
+  context.now = Seconds(1);
+  EXPECT_TRUE(policy.ShouldCheckpoint(context));
+}
+
+TEST(CheckpointPolicies, StorageBalancedComparesLogToStateSize) {
+  StorageBalancedPolicy policy;
+  CheckpointContext context;
+  context.checkpoint_bytes = 8192;
+  context.log_bytes = 4096;
+  EXPECT_FALSE(policy.ShouldCheckpoint(context));
+  context.log_bytes = 8193;
+  EXPECT_TRUE(policy.ShouldCheckpoint(context));
+}
+
+TEST(CheckpointPolicies, RecoveryBoundTriggersWhenTMaxExceedsBudget) {
+  RecoveryBoundPolicy policy(Millis(500), RecoveryTimeParams{});
+  CheckpointContext context;
+  context.last_checkpoint = 0;
+  context.checkpoint_bytes = 16384;  // 4 pages -> reload = 140ms.
+  context.now = Millis(50);
+  context.messages_since = 10;
+  context.log_bytes = 10 * 1024;
+  // t_max = 140 (reload) + 20 (t_mfix) + 102.4 (t_byte) + 100 (compute)
+  //       = 362ms < 500: no checkpoint yet.
+  EXPECT_FALSE(policy.ShouldCheckpoint(context));
+  context.now = Millis(125);  // Compute term grows to 250ms -> 512ms > 500.
+  EXPECT_TRUE(policy.ShouldCheckpoint(context));
+}
+
+TEST(CheckpointPolicies, YoungPolicyUsesComputedInterval) {
+  YoungPolicy policy(Millis(500), Seconds(600));
+  CheckpointContext context;
+  context.last_checkpoint = 0;
+  context.now = Seconds(20);
+  EXPECT_FALSE(policy.ShouldCheckpoint(context));
+  context.now = Seconds(25);
+  EXPECT_TRUE(policy.ShouldCheckpoint(context));
+}
+
+TEST(PublishPaths, CostsMatchSection522) {
+  EXPECT_EQ(ToMillis(PublishCpuCost(PublishPath::kFullProtocol)), 57.0);
+  EXPECT_EQ(ToMillis(PublishCpuCost(PublishPath::kInlined)), 12.0);
+  EXPECT_NEAR(ToMillis(PublishCpuCost(PublishPath::kMediaLayer)), 0.8, 1e-9);
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,410 @@
+// Unit tests for the DEMOS/MP kernel layer: links, channels, selective
+// receive, link passing, DELIVERTOKERNEL process control, the process-
+// creation chain, the named-link server, and the determinism property the
+// recovery model rests on.
+
+#include <gtest/gtest.h>
+
+#include "src/core/publishing_system.h"
+#include "src/demos/system_programs.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+// Records every delivered message's (channel, code) and whether a link rode
+// along; replies over passed links with its own tally.
+class RecorderProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    (void)api;
+    log_.push_back({msg.channel, msg.code, msg.passed_link.IsValid()});
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU32(static_cast<uint32_t>(log_.size()));
+    for (const auto& [channel, code, link] : log_) {
+      w.WriteU16(channel);
+      w.WriteU32(code);
+      w.WriteBool(link);
+    }
+  }
+  Status LoadState(Reader& r) override {
+    const uint32_t n = *r.ReadU32();
+    log_.clear();
+    for (uint32_t i = 0; i < n; ++i) {
+      uint16_t channel = *r.ReadU16();
+      uint32_t code = *r.ReadU32();
+      bool link = *r.ReadBool();
+      log_.push_back({channel, code, link});
+    }
+    return Status::Ok();
+  }
+
+  struct Entry {
+    uint16_t channel;
+    uint32_t code;
+    bool had_link;
+  };
+  const std::vector<Entry>& log() const { return log_; }
+
+ private:
+  std::vector<Entry> log_;
+};
+
+// Receives only channel 10 until it has read 2 messages, then anything.
+// Used to exercise out-of-order (channel-selective) receive, §4.2.2.2.
+class SelectiveProgram : public RecorderProgram {
+ public:
+  std::vector<uint16_t> ReceiveChannels() const override {
+    if (log().size() < 2) {
+      return {10};
+    }
+    return {};
+  }
+};
+
+// Requests one child via the full process-control chain, remembers the
+// child's pid and its DELIVERTOKERNEL link, and optionally destroys it.
+class SpawnerProgram : public UserProgram {
+ public:
+  static constexpr uint16_t kReplyChannel = 6;
+
+  void OnStart(KernelApi& api) override {
+    api.RequestCreateProcess("child", NodeId{2}, kReplyChannel, {});
+  }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    (void)api;
+    if (msg.channel != kReplyChannel) {
+      return;
+    }
+    auto reply = DecodeCreateProcessReply(msg.body);
+    if (reply.ok() && reply->ok) {
+      child_ = reply->created;
+      dtk_link_ = msg.passed_link;
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteProcessId(child_);
+    w.WriteU32(dtk_link_.value);
+  }
+  Status LoadState(Reader& r) override {
+    child_ = *r.ReadProcessId();
+    dtk_link_ = LinkId{*r.ReadU32()};
+    return Status::Ok();
+  }
+
+  ProcessId child() const { return child_; }
+  LinkId dtk_link() const { return dtk_link_; }
+
+ private:
+  ProcessId child_;
+  LinkId dtk_link_;
+};
+
+struct Fixture {
+  explicit Fixture(bool system_processes = false, size_t nodes = 2) {
+    PublishingSystemConfig config;
+    config.cluster.node_count = nodes;
+    config.cluster.start_system_processes = system_processes;
+    config.cluster.seed = 11;
+    system = std::make_unique<PublishingSystem>(config);
+    auto& registry = system->cluster().registry();
+    registry.Register("recorder", [] { return std::make_unique<RecorderProgram>(); });
+    registry.Register("selective", [] { return std::make_unique<SelectiveProgram>(); });
+    registry.Register("echo", [] { return std::make_unique<EchoProgram>(); });
+    registry.Register("child", [] { return std::make_unique<AccumulatorProgram>(); });
+    registry.Register("spawner", [] { return std::make_unique<SpawnerProgram>(); });
+  }
+
+  NodeKernel* kernel(uint32_t node) { return system->cluster().kernel(NodeId{node}); }
+
+  template <typename T>
+  const T* Program(uint32_t node, const ProcessId& pid) {
+    return dynamic_cast<const T*>(kernel(node)->ProgramFor(pid));
+  }
+
+  std::unique_ptr<PublishingSystem> system;
+};
+
+// Sends one message from a scratch process into `dst` with full control of
+// channel/code/link.
+class OneShotSender : public UserProgram {
+ public:
+  OneShotSender(Link target, bool pass_link) : target_(target), pass_link_(pass_link) {}
+
+  void OnStart(KernelApi& api) override {
+    LinkId pass;
+    if (pass_link_) {
+      pass = *api.CreateLink(/*channel=*/77, /*code=*/123);
+    }
+    // Target links are injected as initial link 1.
+    api.Send(LinkId{1}, Bytes{42}, pass);
+    api.Exit();
+  }
+  void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+  void SaveState(Writer& w) const override { (void)w; }
+  Status LoadState(Reader&) override { return Status::Ok(); }
+
+ private:
+  Link target_;
+  bool pass_link_;
+};
+
+TEST(DemosKernel, MessagesCarryTheLinksChannelAndCode) {
+  Fixture f;
+  auto dst = f.system->cluster().Spawn(NodeId{2}, "recorder");
+  f.system->cluster().registry().Register("oneshot", [&dst] {
+    return std::make_unique<OneShotSender>(Link{*dst, 33, 4444, 0}, false);
+  });
+  f.system->cluster().Spawn(NodeId{1}, "oneshot", {Link{*dst, 33, 4444, 0}});
+  f.system->RunFor(Seconds(5));
+
+  const auto* program = f.Program<RecorderProgram>(2, *dst);
+  ASSERT_EQ(program->log().size(), 1u);
+  EXPECT_EQ(program->log()[0].channel, 33);
+  EXPECT_EQ(program->log()[0].code, 4444u);
+  EXPECT_FALSE(program->log()[0].had_link);
+}
+
+TEST(DemosKernel, PassedLinksMoveIntoTheReceiversTable) {
+  Fixture f;
+  auto dst = f.system->cluster().Spawn(NodeId{2}, "recorder");
+  f.system->cluster().registry().Register("oneshot", [&dst] {
+    return std::make_unique<OneShotSender>(Link{*dst, 1, 0, 0}, true);
+  });
+  f.system->cluster().Spawn(NodeId{1}, "oneshot", {Link{*dst, 1, 0, 0}});
+  f.system->RunFor(Seconds(5));
+
+  const auto* program = f.Program<RecorderProgram>(2, *dst);
+  ASSERT_EQ(program->log().size(), 1u);
+  EXPECT_TRUE(program->log()[0].had_link)
+      << "§4.2.2.3: when the message is read the link moves into the receiver's table";
+}
+
+TEST(DemosKernel, ChannelSelectiveReceiveReadsOutOfQueueOrder) {
+  Fixture f;
+  auto dst = f.system->cluster().Spawn(NodeId{2}, "selective");
+  // Send channel-20 messages first, then channel-10 ones.  The selective
+  // reader wants channel 10 first, so it must read out of queue order.
+  auto pinger_prog = [&]() {
+    class Burst : public UserProgram {
+     public:
+      void OnStart(KernelApi& api) override {
+        api.Send(LinkId{1}, Bytes{1});  // channel 20 (link 1)
+        api.Send(LinkId{1}, Bytes{2});
+        api.Send(LinkId{2}, Bytes{3});  // channel 10 (link 2)
+        api.Send(LinkId{2}, Bytes{4});
+        api.Exit();
+      }
+      void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+      void SaveState(Writer&) const override {}
+      Status LoadState(Reader&) override { return Status::Ok(); }
+    };
+    return std::make_unique<Burst>();
+  };
+  f.system->cluster().registry().Register("burst",
+                                          [&pinger_prog] { return pinger_prog(); });
+  f.system->cluster().Spawn(NodeId{1}, "burst",
+                            {Link{*dst, 20, 0, 0}, Link{*dst, 10, 0, 0}});
+  f.system->RunFor(Seconds(10));
+
+  const auto* program = f.Program<SelectiveProgram>(2, *dst);
+  ASSERT_EQ(program->log().size(), 4u);
+  // The two channel-10 messages must have been read first.
+  EXPECT_EQ(program->log()[0].channel, 10);
+  EXPECT_EQ(program->log()[1].channel, 10);
+  EXPECT_EQ(program->log()[2].channel, 20);
+  EXPECT_EQ(program->log()[3].channel, 20);
+}
+
+TEST(DemosKernel, CreateProcessChainProducesChildAndControlLink) {
+  Fixture f(/*system_processes=*/true, /*nodes=*/3);
+  f.system->RunFor(Seconds(2));  // Boot the system processes.
+  auto spawner = f.system->cluster().Spawn(NodeId{1}, "spawner");
+  f.system->RunFor(Seconds(30));
+
+  const auto* program = f.Program<SpawnerProgram>(1, *spawner);
+  ASSERT_NE(program, nullptr);
+  ASSERT_TRUE(program->child().IsValid()) << "reply did not arrive";
+  EXPECT_EQ(program->child().origin, NodeId{2}) << "child created on the requested node";
+  EXPECT_TRUE(program->dtk_link().IsValid());
+  EXPECT_EQ(f.kernel(2)->QueryProcessState(program->child()),
+            ProcessStateAnswer::kFunctioning);
+  // The chain really ran through the system processes.
+  const auto* manager = dynamic_cast<const ProcessManagerProgram*>(
+      f.kernel(1)->ProgramFor(f.system->cluster().process_manager()));
+  ASSERT_NE(manager, nullptr);
+  EXPECT_GE(manager->forwarded(), 1u);
+}
+
+TEST(DemosKernel, DestroyViaDeliverToKernelLink) {
+  Fixture f(/*system_processes=*/true, /*nodes=*/3);
+  f.system->RunFor(Seconds(2));
+  auto spawner = f.system->cluster().Spawn(NodeId{1}, "spawner");
+  f.system->RunFor(Seconds(30));
+  const auto* program = f.Program<SpawnerProgram>(1, *spawner);
+  ASSERT_TRUE(program->child().IsValid());
+
+  // Drive the destroy through the spawner's DTK link by injecting a control
+  // op from a helper: reuse the kernel's own test surface instead.
+  ProcessId child = program->child();
+  // Send kDestroyProcess over a DTK link directly.
+  class Destroyer : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      api.Send(LinkId{1}, EncodeOpOnly(KernelOp::kDestroyProcess));
+      api.Exit();
+    }
+    void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+    void SaveState(Writer&) const override {}
+    Status LoadState(Reader&) override { return Status::Ok(); }
+  };
+  f.system->cluster().registry().Register("destroyer",
+                                          [] { return std::make_unique<Destroyer>(); });
+  f.system->cluster().Spawn(NodeId{1}, "destroyer",
+                            {Link{child, 0, 0, kLinkDeliverToKernel}});
+  f.system->RunFor(Seconds(30));
+  EXPECT_EQ(f.kernel(2)->QueryProcessState(child), ProcessStateAnswer::kUnknown);
+}
+
+TEST(DemosKernel, MoveLinkInstallsIntoControlledProcess) {
+  Fixture f;
+  auto target = f.system->cluster().Spawn(NodeId{2}, "recorder");
+  auto echo = f.system->cluster().Spawn(NodeId{2}, "echo");
+
+  // Mover holds: link 1 = DTK to target, link 2 = a link to echo to move.
+  class Mover : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      api.Send(LinkId{1}, EncodeOpOnly(KernelOp::kMoveLink), LinkId{2});
+      api.Exit();
+    }
+    void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+    void SaveState(Writer&) const override {}
+    Status LoadState(Reader&) override { return Status::Ok(); }
+  };
+  f.system->cluster().registry().Register("mover", [] { return std::make_unique<Mover>(); });
+  f.system->cluster().Spawn(
+      NodeId{1}, "mover",
+      {Link{*target, 0, 0, kLinkDeliverToKernel}, Link{*echo, 1, 555, 0}});
+  f.system->RunFor(Seconds(10));
+
+  // The moved link occupies the target's next table slot (slot 1: it had no
+  // initial links).  The MOVELINK consumed a read.
+  auto reads = f.kernel(2)->ReadsDone(*target);
+  ASSERT_TRUE(reads.ok());
+  EXPECT_EQ(*reads, 1u);
+}
+
+TEST(DemosKernel, StopHoldsMessagesAndStartReleasesThem) {
+  Fixture f;
+  auto dst = f.system->cluster().Spawn(NodeId{2}, "recorder");
+  f.system->RunFor(Millis(50));
+  ASSERT_TRUE(f.kernel(2)->StopProcess(*dst).ok());
+
+  f.system->cluster().registry().Register("oneshot", [&dst] {
+    return std::make_unique<OneShotSender>(Link{*dst, 5, 0, 0}, false);
+  });
+  f.system->cluster().Spawn(NodeId{1}, "oneshot", {Link{*dst, 5, 0, 0}});
+  f.system->RunFor(Seconds(5));
+  EXPECT_TRUE(f.Program<RecorderProgram>(2, *dst)->log().empty());
+
+  ASSERT_TRUE(f.kernel(2)->StartProcess(*dst).ok());
+  f.system->RunFor(Seconds(5));
+  EXPECT_EQ(f.Program<RecorderProgram>(2, *dst)->log().size(), 1u);
+}
+
+TEST(DemosKernel, NamedLinkServerRegistersAndResolves) {
+  Fixture f(/*system_processes=*/true, /*nodes=*/2);
+  f.system->RunFor(Seconds(2));
+  auto echo = f.system->cluster().Spawn(NodeId{2}, "echo");
+
+  // Registrar: registers a link to echo under "printer", then looks it up
+  // and sends a message through the resolved link.
+  class Registrar : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      api.Send(LinkId{1}, EncodeNameRegister("printer"), LinkId{2});
+      auto reply = api.CreateLink(/*channel=*/50, 0);
+      api.Send(LinkId{1}, EncodeNameLookup("printer"), *reply);
+    }
+    void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+      if (msg.channel != 50) {
+        return;
+      }
+      auto reply = DecodeNameReply(msg.body);
+      found_ = reply.ok() && reply->found;
+      if (found_ && msg.passed_link.IsValid()) {
+        api.Send(msg.passed_link, Bytes{99});
+      }
+    }
+    void SaveState(Writer& w) const override { w.WriteBool(found_); }
+    Status LoadState(Reader& r) override {
+      found_ = *r.ReadBool();
+      return Status::Ok();
+    }
+    bool found() const { return found_; }
+
+   private:
+    bool found_ = false;
+  };
+  f.system->cluster().registry().Register("registrar",
+                                          [] { return std::make_unique<Registrar>(); });
+  auto registrar = f.system->cluster().Spawn(
+      NodeId{1}, "registrar",
+      {Link{f.system->cluster().name_server(), kNameServiceChannel, 0, 0},
+       Link{*echo, 1, 0, 0}});
+  f.system->RunFor(Seconds(30));
+
+  const auto* program = f.Program<Registrar>(1, *registrar);
+  ASSERT_NE(program, nullptr);
+  EXPECT_TRUE(program->found());
+  EXPECT_EQ(f.Program<EchoProgram>(2, *echo)->echoed(), 1u)
+      << "the looked-up link must actually reach the registered process";
+}
+
+TEST(DemosKernel, IdenticalSeedsProduceIdenticalRuns) {
+  auto run = [] {
+    Fixture f;
+    auto echo = f.system->cluster().Spawn(NodeId{2}, "echo");
+    f.system->cluster().registry().Register(
+        "pinger", [] { return std::make_unique<PingerProgram>(25); });
+    auto pinger = f.system->cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+    f.system->RunFor(Seconds(60));
+    const auto* program = f.Program<PingerProgram>(1, *pinger);
+    Writer w;
+    program->SaveState(w);
+    return w.TakeBytes();
+  };
+  EXPECT_EQ(run(), run()) << "whole-system runs must be bit-for-bit reproducible";
+}
+
+TEST(DemosKernel, SendOverUnknownLinkFails) {
+  Fixture f;
+  auto echo = f.system->cluster().Spawn(NodeId{2}, "echo");
+  class BadSender : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      status_ = api.Send(LinkId{42}, Bytes{1});
+    }
+    void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+    void SaveState(Writer&) const override {}
+    Status LoadState(Reader&) override { return Status::Ok(); }
+    Status status_ = Status::Ok();
+  };
+  auto* raw = new BadSender();  // Owned by the kernel once instantiated.
+  f.system->cluster().registry().Register(
+      "bad", [raw] { return std::unique_ptr<UserProgram>(raw); });
+  f.system->cluster().Spawn(NodeId{1}, "bad");
+  f.system->RunFor(Seconds(2));
+  EXPECT_EQ(raw->status_.code(), StatusCode::kNotFound);
+  (void)echo;
+}
+
+}  // namespace
+}  // namespace publishing

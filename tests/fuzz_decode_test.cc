@@ -1,0 +1,111 @@
+// Robustness: every wire decoder must reject arbitrary garbage gracefully —
+// the recorder rebuilds its database from disk pages (§4.5) and parses
+// everything it overhears, so corrupt inputs must never crash it.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/demos/node_image.h"
+#include "src/demos/process_image.h"
+#include "src/demos/protocol.h"
+#include "src/transport/packet.h"
+
+namespace publishing {
+namespace {
+
+Bytes RandomBytes(Rng& rng, size_t max_len) {
+  Bytes out(rng.NextBelow(max_len + 1));
+  for (auto& b : out) {
+    b = static_cast<uint8_t>(rng.NextU64());
+  }
+  return out;
+}
+
+template <typename Decoder>
+void FuzzDecoder(uint64_t seed, Decoder decode) {
+  Rng rng(seed);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = RandomBytes(rng, 512);
+    auto result = decode(garbage);
+    (void)result;  // Must not crash; error or value are both acceptable.
+  }
+}
+
+TEST(FuzzDecode, Packet) {
+  FuzzDecoder(1, [](const Bytes& b) { return ParsePacket(b).ok(); });
+}
+TEST(FuzzDecode, Ack) {
+  FuzzDecoder(2, [](const Bytes& b) { return ParseAck(b).ok(); });
+}
+TEST(FuzzDecode, CreateProcessRequest) {
+  FuzzDecoder(3, [](const Bytes& b) { return DecodeCreateProcessRequest(b).ok(); });
+}
+TEST(FuzzDecode, ProcessNotice) {
+  FuzzDecoder(4, [](const Bytes& b) { return DecodeProcessNotice(b).ok(); });
+}
+TEST(FuzzDecode, Checkpoint) {
+  FuzzDecoder(5, [](const Bytes& b) { return DecodeCheckpoint(b).ok(); });
+}
+TEST(FuzzDecode, RecreateRequest) {
+  FuzzDecoder(6, [](const Bytes& b) { return DecodeRecreateRequest(b).ok(); });
+}
+TEST(FuzzDecode, StateQueryAndReply) {
+  FuzzDecoder(7, [](const Bytes& b) { return DecodeStateQuery(b).ok(); });
+  FuzzDecoder(8, [](const Bytes& b) { return DecodeStateReply(b).ok(); });
+}
+TEST(FuzzDecode, ProcessImage) {
+  FuzzDecoder(9, [](const Bytes& b) { return DecodeProcessImage(b).ok(); });
+}
+TEST(FuzzDecode, NodeImage) {
+  FuzzDecoder(10, [](const Bytes& b) { return DecodeNodeImage(b).ok(); });
+}
+TEST(FuzzDecode, NodeRecoveryPayloads) {
+  FuzzDecoder(11, [](const Bytes& b) { return DecodeRestoreNodeRequest(b).ok(); });
+  FuzzDecoder(12, [](const Bytes& b) { return DecodeNodeReplayMessage(b).ok(); });
+  FuzzDecoder(13, [](const Bytes& b) { return DecodeNodeCheckpoint(b).ok(); });
+}
+
+// Truncation sweep: every prefix of a VALID encoding must decode to an error
+// (never crash, never silently succeed with partial data).
+TEST(FuzzDecode, TruncatedValidPacketAlwaysRejected) {
+  Packet packet;
+  packet.header.id = MessageId{ProcessId{NodeId{1}, 2}, 3};
+  packet.header.src_process = ProcessId{NodeId{1}, 2};
+  packet.header.dst_process = ProcessId{NodeId{4}, 5};
+  packet.header.flags = kFlagGuaranteed;
+  packet.link_blob = Bytes(10, 0xAA);
+  packet.body = Bytes(100, 0xBB);
+  Bytes full = SerializePacket(packet);
+  for (size_t len = 0; len < full.size(); ++len) {
+    Bytes prefix(full.begin(), full.begin() + static_cast<ptrdiff_t>(len));
+    EXPECT_FALSE(ParsePacket(prefix).ok()) << "prefix length " << len;
+  }
+  EXPECT_TRUE(ParsePacket(full).ok());
+}
+
+// Bit-flip sweep on a valid node image: decode must not crash, and flips the
+// decoder accepts must still produce a structurally sane image.
+TEST(FuzzDecode, BitFlippedNodeImageHandled) {
+  NodeImage image;
+  image.node = NodeId{2};
+  image.node_step = 42;
+  NodeProcessEntry entry;
+  entry.pid = ProcessId{NodeId{2}, 7};
+  entry.image.program_name = "prog";
+  entry.image.program_state = Bytes(32, 0x11);
+  image.processes.push_back(entry);
+  Bytes full = EncodeNodeImage(image);
+
+  Rng rng(99);
+  for (int i = 0; i < 500; ++i) {
+    Bytes mutated = full;
+    mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    auto decoded = DecodeNodeImage(mutated);
+    if (decoded.ok()) {
+      EXPECT_LE(decoded->processes.size(), 1000u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,132 @@
+// Multi-recorder tests (§6.3): n-1 of n recorders can fail without the
+// network becoming unavailable; priority vectors decide who recovers what;
+// a lower-priority recorder takes over when the responsible one fails.
+
+#include <gtest/gtest.h>
+
+#include "src/core/recorder_group.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+struct GroupFixture {
+  explicit GroupFixture(size_t recorders, uint64_t ping_target = 30) {
+    ClusterConfig config;
+    config.node_count = 2;
+    config.start_system_processes = false;
+    config.seed = 5;
+    cluster = std::make_unique<Cluster>(config);
+    cluster->registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+    cluster->registry().Register(
+        "pinger", [ping_target] { return std::make_unique<PingerProgram>(ping_target); });
+    RecoveryManagerOptions recovery;
+    recovery.takeover_recheck = Millis(500);
+    group = std::make_unique<RecorderGroup>(cluster.get(), recorders, recovery);
+    echo = *cluster->Spawn(NodeId{2}, "echo");
+    pinger = *cluster->Spawn(NodeId{1}, "pinger", {Link{echo, 1, 0, 0}});
+  }
+
+  const PingerProgram* Pinger() {
+    return dynamic_cast<const PingerProgram*>(cluster->kernel(NodeId{1})->ProgramFor(pinger));
+  }
+  const EchoProgram* Echo() {
+    return dynamic_cast<const EchoProgram*>(cluster->kernel(NodeId{2})->ProgramFor(echo));
+  }
+
+  std::unique_ptr<Cluster> cluster;
+  std::unique_ptr<RecorderGroup> group;
+  ProcessId echo;
+  ProcessId pinger;
+};
+
+TEST(MultiRecorder, AllMembersRecordAllMessages) {
+  GroupFixture f(3);
+  f.cluster->sim().RunFor(Seconds(60));
+  ASSERT_EQ(f.Pinger()->received(), 30u);
+  const uint64_t published0 = f.group->recorder(0).stats().messages_published;
+  EXPECT_GT(published0, 0u);
+  EXPECT_EQ(f.group->recorder(1).stats().messages_published, published0);
+  EXPECT_EQ(f.group->recorder(2).stats().messages_published, published0);
+  // Their logs agree.
+  EXPECT_EQ(f.group->storage(0).messages_stored(), f.group->storage(1).messages_stored());
+}
+
+TEST(MultiRecorder, TrafficContinuesWhileOneRecorderIsDown) {
+  GroupFixture f(2, /*ping_target=*/60);
+  f.cluster->sim().RunFor(Millis(50));
+  f.group->CrashRecorder(1);
+  f.cluster->sim().RunFor(Seconds(60));
+  // With a single recorder this crash would have suspended the network; the
+  // survivor supplies the acknowledgements (§6.3).
+  EXPECT_EQ(f.Pinger()->received(), 60u);
+}
+
+TEST(MultiRecorder, NetworkSuspendsWhenAllRecordersAreDown) {
+  GroupFixture f(2, /*ping_target=*/400);
+  f.cluster->sim().RunFor(Millis(50));
+  const uint64_t before = f.Pinger()->received();
+  f.group->CrashRecorder(0);
+  f.group->CrashRecorder(1);
+  ASSERT_TRUE(f.group->AllDown());
+  f.cluster->sim().RunFor(Seconds(5));
+  // A few in-flight deliveries may land, but progress stops.
+  EXPECT_LE(f.Pinger()->received(), before + 2);
+  // Restarting one recorder resumes traffic.
+  f.group->RestartRecorder(0);
+  f.cluster->sim().RunFor(Seconds(120));
+  EXPECT_GT(f.Pinger()->received(), before + 10);
+}
+
+TEST(MultiRecorder, ResponsibilityFollowsPriorityVector) {
+  GroupFixture f(3);
+  f.group->SetPriorityVector(NodeId{2}, {2, 1, 0});
+  auto responsible = f.group->ResponsibleFor(NodeId{2});
+  ASSERT_TRUE(responsible.ok());
+  EXPECT_EQ(*responsible, 2u);
+  f.group->CrashRecorder(2);
+  responsible = f.group->ResponsibleFor(NodeId{2});
+  ASSERT_TRUE(responsible.ok());
+  EXPECT_EQ(*responsible, 1u);
+}
+
+TEST(MultiRecorder, ResponsibleRecorderRecoversCrashedProcess) {
+  GroupFixture f(2, /*ping_target=*/40);
+  f.cluster->sim().RunFor(Millis(80));
+  f.cluster->kernel(NodeId{2})->CrashProcess(f.echo);
+  f.cluster->sim().RunFor(Seconds(120));
+  EXPECT_EQ(f.Pinger()->received(), 40u);
+  EXPECT_GE(f.group->manager(0).stats().process_recoveries_completed, 1u);
+  EXPECT_EQ(f.group->manager(1).stats().process_recoveries_completed, 0u)
+      << "only the responsible recorder may recover (no duplicate processes)";
+}
+
+TEST(MultiRecorder, LowerPriorityRecorderTakesOverWhenResponsibleOneFails) {
+  GroupFixture f(2, /*ping_target=*/40);
+  f.cluster->sim().RunFor(Millis(80));
+  // Member 0 is responsible for everything by default; kill it, then crash
+  // the echo process.  Member 1 must take over the recovery.
+  f.group->CrashRecorder(0);
+  f.cluster->sim().RunFor(Millis(20));
+  f.cluster->kernel(NodeId{2})->CrashProcess(f.echo);
+  f.cluster->sim().RunFor(Seconds(200));
+  EXPECT_EQ(f.Pinger()->received(), 40u);
+  EXPECT_GE(f.group->manager(1).stats().process_recoveries_completed, 1u);
+}
+
+TEST(MultiRecorder, SecondariesLearnNoticesByOverhearing) {
+  GroupFixture f(2);
+  f.cluster->sim().RunFor(Seconds(10));
+  // Both storages know the processes even though only member 0's endpoint
+  // received the creation notices.
+  EXPECT_TRUE(f.group->storage(0).Knows(f.echo));
+  EXPECT_TRUE(f.group->storage(1).Knows(f.echo));
+  auto info0 = f.group->storage(0).Info(f.echo);
+  auto info1 = f.group->storage(1).Info(f.echo);
+  ASSERT_TRUE(info0.ok());
+  ASSERT_TRUE(info1.ok());
+  EXPECT_EQ(info0->program, info1->program);
+}
+
+}  // namespace
+}  // namespace publishing

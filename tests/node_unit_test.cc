@@ -1,0 +1,178 @@
+// Tests for §6.6.2 — recovering nodes rather than processes.
+//
+// In node-unit mode intranode messages never touch the network (the dominant
+// publishing cost disappears, cf. Figure 5.7); the kernel runs a
+// deterministic scheduler, extranode arrivals are stamped with the node's
+// event counter, and a crashed node is rebuilt from a whole-node checkpoint
+// plus a step-synchronized replay of its extranode messages.
+
+#include <gtest/gtest.h>
+
+#include "src/core/publishing_system.h"
+#include "src/demos/node_image.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+PublishingSystemConfig NodeUnitConfig(size_t nodes = 2) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = nodes;
+  config.cluster.start_system_processes = false;
+  config.cluster.seed = 19;
+  config.node_unit_mode = true;
+  return config;
+}
+
+// A local pipeline: stage-1 receives extranode pings, forwards each
+// *intranode* to stage-2, which replies extranode to the original sender via
+// the passed link.  Exercises intranode traffic interleaved with extranode.
+class Stage1Program : public UserProgram {
+ public:
+  static constexpr uint32_t kStage2Link = 1;
+
+  void OnStart(KernelApi& api) override { (void)api; }
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    ++forwarded_;
+    // Forward body + reply link to stage 2 (intranode).
+    api.Send(LinkId{kStage2Link}, msg.body, msg.passed_link);
+  }
+  void SaveState(Writer& w) const override { w.WriteU64(forwarded_); }
+  Status LoadState(Reader& r) override {
+    forwarded_ = *r.ReadU64();
+    return Status::Ok();
+  }
+  uint64_t forwarded_ = 0;
+};
+
+struct Fixture {
+  explicit Fixture(uint64_t pings = 30) {
+    system = std::make_unique<PublishingSystem>(NodeUnitConfig());
+    auto& registry = system->cluster().registry();
+    registry.Register("echo", [] { return std::make_unique<EchoProgram>(); });
+    registry.Register("stage1", [] { return std::make_unique<Stage1Program>(); });
+    registry.Register("pinger",
+                      [pings] { return std::make_unique<PingerProgram>(pings); });
+    // Node 2 hosts the two-stage pipeline; node 1 the client.
+    stage2 = *system->cluster().Spawn(NodeId{2}, "echo");
+    stage1 = *system->cluster().Spawn(NodeId{2}, "stage1",
+                                      {Link{stage2, /*channel=*/3, 0, 0}});
+    pinger = *system->cluster().Spawn(NodeId{1}, "pinger", {Link{stage1, 1, 0, 0}});
+  }
+
+  const PingerProgram* Pinger() {
+    return dynamic_cast<const PingerProgram*>(
+        system->cluster().kernel(NodeId{1})->ProgramFor(pinger));
+  }
+  const EchoProgram* Stage2() {
+    return dynamic_cast<const EchoProgram*>(
+        system->cluster().kernel(NodeId{2})->ProgramFor(stage2));
+  }
+
+  std::unique_ptr<PublishingSystem> system;
+  ProcessId stage1;
+  ProcessId stage2;
+  ProcessId pinger;
+};
+
+TEST(NodeUnit, IntranodeMessagesStayOffTheNetwork) {
+  Fixture f;
+  f.system->RunFor(Seconds(60));
+  ASSERT_EQ(f.Pinger()->received(), 30u);
+  // Every wire frame involves distinct nodes: the stage1->stage2 hops (30 of
+  // them) must not appear as published messages for node-local traffic.
+  // With process-level publishing, the recorder would have logged ~90
+  // data messages; here only the extranode ones (ping + pong) appear.
+  EXPECT_EQ(f.system->recorder().stats().messages_published, 60u);
+}
+
+TEST(NodeUnit, NodeImageRoundTrips) {
+  Fixture f;
+  f.system->RunFor(Seconds(30));
+  auto image_bytes = f.system->cluster().kernel(NodeId{2})->CaptureNodeImage();
+  ASSERT_TRUE(image_bytes.ok());
+  auto image = DecodeNodeImage(*image_bytes);
+  ASSERT_TRUE(image.ok());
+  EXPECT_EQ(image->node, NodeId{2});
+  EXPECT_EQ(image->processes.size(), 2u);
+  EXPECT_GT(image->node_step, 0u);
+  // Re-encoding is stable.
+  EXPECT_EQ(EncodeNodeImage(*image), *image_bytes);
+}
+
+TEST(NodeUnit, NodeCrashRecoversFromScratchViaStampedReplay) {
+  Fixture f(40);
+  // Initial node checkpoint right after boot (the "binary image" of the
+  // whole node).
+  f.system->RunFor(Millis(10));
+  ASSERT_TRUE(f.system->cluster().kernel(NodeId{2})->CheckpointNode().ok());
+
+  f.system->RunFor(Millis(150));
+  const uint64_t mid = f.Pinger()->received();
+  ASSERT_GT(mid, 0u);
+  ASSERT_LT(mid, 40u);
+
+  f.system->CrashNode(NodeId{2});
+  f.system->RunFor(Seconds(600));
+
+  EXPECT_EQ(f.Pinger()->received(), 40u);
+  EXPECT_EQ(f.Stage2()->echoed(), 40u) << "each ping processed exactly once end-to-end";
+}
+
+TEST(NodeUnit, PeriodicNodeCheckpointsShortenReplay) {
+  Fixture f(60);
+  f.system->EnableNodeCheckpointInterval(Millis(100));
+  f.system->RunFor(Millis(400));
+  ASSERT_GT(f.system->recorder().stats().checkpoints_stored, 0u);
+
+  f.system->CrashNode(NodeId{2});
+  f.system->RunFor(Seconds(600));
+  EXPECT_EQ(f.Pinger()->received(), 60u);
+  EXPECT_EQ(f.Stage2()->echoed(), 60u);
+}
+
+TEST(NodeUnit, ProcessFaultIsRoundedUpToNodeRecovery) {
+  Fixture f(40);
+  f.system->RunFor(Millis(10));
+  ASSERT_TRUE(f.system->cluster().kernel(NodeId{2})->CheckpointNode().ok());
+  f.system->RunFor(Millis(120));
+
+  // A single-process fault: §1.1.2 lets the system round it up.
+  ASSERT_TRUE(f.system->CrashProcess(f.stage1).ok());
+  f.system->RunFor(Seconds(600));
+  EXPECT_EQ(f.Pinger()->received(), 40u);
+  EXPECT_EQ(f.Stage2()->echoed(), 40u);
+}
+
+TEST(NodeUnit, CrashedRunMatchesCrashFreeRun) {
+  auto run = [](bool crash) {
+    Fixture f(30);
+    f.system->EnableNodeCheckpointInterval(Millis(150));
+    if (crash) {
+      f.system->RunFor(Millis(200));
+      f.system->CrashNode(NodeId{2});
+    }
+    f.system->RunFor(Seconds(900));
+    EXPECT_EQ(f.Pinger()->received(), 30u);
+    Writer w;
+    f.Pinger()->SaveState(w);
+    return w.TakeBytes();
+  };
+  EXPECT_EQ(run(true), run(false))
+      << "node-unit recovery must be transparent to remote clients";
+}
+
+TEST(NodeUnit, ClientNodeCrashAlsoRecovers) {
+  Fixture f(40);
+  f.system->RunFor(Millis(10));
+  ASSERT_TRUE(f.system->cluster().kernel(NodeId{1})->CheckpointNode().ok());
+  f.system->RunFor(Millis(150));
+  f.system->CrashNode(NodeId{1});
+  f.system->RunFor(Seconds(600));
+  EXPECT_EQ(f.Pinger()->received(), 40u);
+  EXPECT_EQ(f.Stage2()->echoed(), 40u)
+      << "the server must see each forwarded ping exactly once despite client resends";
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,176 @@
+// Property tests: the central theorem of publishing, checked adversarially —
+// for ANY crash schedule, the final application state equals the crash-free
+// run.  Parameterized over seeds, media, checkpoint policies, and crash
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "src/common/rng.h"
+#include "src/core/publishing_system.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+struct RunOutcome {
+  Bytes pinger_state;
+  uint64_t echo_count = 0;
+  bool completed = false;
+};
+
+// Runs a ping-pong workload; if `crash_seed` != 0, injects `crashes` process
+// crashes at pseudo-random points.
+RunOutcome RunWorkload(MediumKind medium, uint64_t system_seed, uint64_t crash_seed,
+                       int crashes, bool with_checkpoints) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.medium = medium;
+  config.cluster.start_system_processes = false;
+  config.cluster.seed = system_seed;
+  PublishingSystem system(config);
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(30); });
+  if (with_checkpoints) {
+    system.EnableCheckpointPolicy(std::make_unique<FixedIntervalPolicy>(Millis(200)));
+  }
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  if (crash_seed != 0) {
+    Rng rng(crash_seed);
+    for (int i = 0; i < crashes; ++i) {
+      system.RunFor(Millis(static_cast<int64_t>(20 + rng.NextBelow(120))));
+      // Alternate victims; sometimes both.
+      const uint64_t pick = rng.NextBelow(3);
+      if (pick == 0 || pick == 2) {
+        system.CrashProcess(*echo);
+      }
+      if (pick == 1 || pick == 2) {
+        system.CrashProcess(*pinger);
+      }
+      system.RunFor(Millis(static_cast<int64_t>(rng.NextBelow(200))));
+    }
+  }
+  system.RunFor(Seconds(900));
+
+  RunOutcome outcome;
+  const auto* p =
+      dynamic_cast<const PingerProgram*>(system.cluster().kernel(NodeId{1})->ProgramFor(*pinger));
+  const auto* e =
+      dynamic_cast<const EchoProgram*>(system.cluster().kernel(NodeId{2})->ProgramFor(*echo));
+  if (p == nullptr || e == nullptr) {
+    return outcome;
+  }
+  outcome.completed = p->done();
+  outcome.echo_count = e->echoed();
+  Writer w;
+  p->SaveState(w);
+  outcome.pinger_state = w.TakeBytes();
+  return outcome;
+}
+
+using Param = std::tuple<MediumKind, uint64_t /*crash seed*/, int /*crashes*/, bool /*ckpt*/>;
+
+class CrashEquivalence : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrashEquivalence, CrashedRunMatchesCrashFreeRun) {
+  const auto [medium, crash_seed, crashes, with_checkpoints] = GetParam();
+  RunOutcome reference = RunWorkload(medium, 1, 0, 0, with_checkpoints);
+  ASSERT_TRUE(reference.completed);
+  ASSERT_EQ(reference.echo_count, 30u);
+
+  RunOutcome crashed = RunWorkload(medium, 1, crash_seed, crashes, with_checkpoints);
+  ASSERT_TRUE(crashed.completed) << "the workload must finish despite crashes";
+  EXPECT_EQ(crashed.echo_count, reference.echo_count) << "exactly-once processing";
+  EXPECT_EQ(crashed.pinger_state, reference.pinger_state)
+      << "client state must be bit-identical to the crash-free run";
+}
+
+std::string ParamName(const ::testing::TestParamInfo<Param>& info) {
+  const auto [medium, crash_seed, crashes, ckpt] = info.param;
+  std::string name;
+  switch (medium) {
+    case MediumKind::kEthernet:
+      name = "Ether";
+      break;
+    case MediumKind::kAcknowledgingEthernet:
+      name = "AckEther";
+      break;
+    case MediumKind::kStarHub:
+      name = "Star";
+      break;
+    case MediumKind::kTokenRing:
+      name = "Ring";
+      break;
+  }
+  name += "_seed" + std::to_string(crash_seed);
+  name += "_crashes" + std::to_string(crashes);
+  name += ckpt ? "_ckpt" : "_nockpt";
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Media, CrashEquivalence,
+    ::testing::Values(Param{MediumKind::kAcknowledgingEthernet, 101, 2, false},
+                      Param{MediumKind::kAcknowledgingEthernet, 102, 3, true},
+                      Param{MediumKind::kEthernet, 103, 2, false},
+                      Param{MediumKind::kEthernet, 104, 2, true},
+                      Param{MediumKind::kStarHub, 105, 2, false},
+                      Param{MediumKind::kStarHub, 106, 3, true},
+                      Param{MediumKind::kTokenRing, 107, 2, false},
+                      Param{MediumKind::kTokenRing, 108, 2, true}),
+    ParamName);
+
+class CrashSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashSeedSweep, ManyRandomSchedulesAllConverge) {
+  RunOutcome reference = RunWorkload(MediumKind::kAcknowledgingEthernet, 1, 0, 0, true);
+  RunOutcome crashed =
+      RunWorkload(MediumKind::kAcknowledgingEthernet, 1, GetParam(), 3, true);
+  ASSERT_TRUE(crashed.completed);
+  EXPECT_EQ(crashed.pinger_state, reference.pinger_state);
+  EXPECT_EQ(crashed.echo_count, 30u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashSeedSweep,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88, 99, 110, 121, 132));
+
+// Node-crash variant: whole processors die at random points.
+class NodeCrashSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(NodeCrashSweep, NodeCrashSchedulesConverge) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;
+  config.cluster.seed = 1;
+  PublishingSystem system(config);
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(25); });
+  system.EnableCheckpointPolicy(std::make_unique<StorageBalancedPolicy>());
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  Rng rng(GetParam());
+  system.RunFor(Millis(static_cast<int64_t>(30 + rng.NextBelow(100))));
+  system.CrashNode(NodeId{2});
+  system.RunFor(Seconds(900));
+
+  const auto* p =
+      dynamic_cast<const PingerProgram*>(system.cluster().kernel(NodeId{1})->ProgramFor(*pinger));
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->received(), 25u);
+  const auto* e =
+      dynamic_cast<const EchoProgram*>(system.cluster().kernel(NodeId{2})->ProgramFor(*echo));
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->echoed(), 25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NodeCrashSweep, ::testing::Values(5, 15, 25, 35, 45, 55));
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,137 @@
+// Tests for the Chapter 5 open queuing model: simulation/analytic agreement,
+// the paper's saturation findings, and the capacity ("115 users") claim.
+
+#include <gtest/gtest.h>
+
+#include "src/queueing/simulation.h"
+
+namespace publishing {
+namespace {
+
+QueueingConfig MeanConfig() {
+  QueueingConfig config;
+  config.op = StandardOperatingPoints()[0];
+  config.nodes = 5;
+  config.disks = 1;
+  config.duration = Seconds(200);
+  config.seed = 7;
+  return config;
+}
+
+TEST(Queueing, StateSizeDistributionIsNormalized) {
+  double total = 0.0;
+  for (const StateSizeBucket& bucket : StateSizeDistribution()) {
+    total += bucket.fraction;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(MeanStateBytes(), 4096.0);
+  EXPECT_LT(MeanStateBytes(), 65536.0);
+}
+
+TEST(Queueing, SimulationMatchesAnalyticUtilizations) {
+  QueueingConfig config = MeanConfig();
+  QueueingResult sim = RunQueueingSimulation(config);
+  AnalyticUtilizations analytic = ComputeAnalyticUtilizations(config);
+
+  EXPECT_NEAR(sim.network_utilization, analytic.network, 0.06);
+  EXPECT_NEAR(sim.cpu_utilization, analytic.cpu, 0.05);
+  EXPECT_NEAR(sim.disk_utilization, analytic.disk, 0.04);
+}
+
+TEST(Queueing, MeanOperatingPointViableAtFiveNodes) {
+  QueueingConfig config = MeanConfig();
+  QueueingResult result = RunQueueingSimulation(config);
+  EXPECT_FALSE(result.Saturated())
+      << "§5.1: \"the simple system was viable for at least 5 nodes\"";
+  EXPECT_LT(result.network_utilization, 0.97);
+}
+
+TEST(Queueing, UtilizationGrowsMonotonicallyWithNodes) {
+  double previous = 0.0;
+  for (size_t nodes = 1; nodes <= 5; ++nodes) {
+    QueueingConfig config = MeanConfig();
+    config.nodes = nodes;
+    AnalyticUtilizations u = ComputeAnalyticUtilizations(config);
+    EXPECT_GT(u.network, previous);
+    previous = u.network;
+  }
+}
+
+TEST(Queueing, MaxSyscallRateSaturatesBeyondThreeNodes) {
+  QueueingConfig config = MeanConfig();
+  config.op = StandardOperatingPoints()[3];
+  ASSERT_EQ(config.op.name, "max-syscall-rate");
+
+  config.nodes = 3;
+  AnalyticUtilizations three = ComputeAnalyticUtilizations(config);
+  EXPECT_LT(three.network, 1.0) << "three nodes must still (barely) fit";
+
+  config.nodes = 4;
+  AnalyticUtilizations four = ComputeAnalyticUtilizations(config);
+  EXPECT_GT(std::max(four.network, four.cpu), 1.0)
+      << "§5.1: the max system-call point saturates with more than 3 nodes";
+}
+
+TEST(Queueing, UnbufferedDiskSaturatesAtMaxLongMessageRate) {
+  QueueingConfig config = MeanConfig();
+  config.op = StandardOperatingPoints()[4];
+  ASSERT_EQ(config.op.name, "max-disk-rate");
+  config.nodes = 5;
+
+  config.buffered_writes = false;
+  AnalyticUtilizations unbuffered = ComputeAnalyticUtilizations(config);
+  EXPECT_GT(unbuffered.disk, 1.0)
+      << "§5.1: one disk write per message saturates the disk system";
+
+  config.buffered_writes = true;
+  AnalyticUtilizations buffered = ComputeAnalyticUtilizations(config);
+  EXPECT_LT(buffered.disk, 1.0)
+      << "§5.1: \"this saturation was removed by allowing messages to be "
+         "written out in 4k byte buffers\"";
+}
+
+TEST(Queueing, CapacityIsOneHundredFifteenUsers) {
+  QueueingConfig config = MeanConfig();
+  CapacityEstimate capacity = EstimateCapacity(config);
+  EXPECT_EQ(capacity.max_nodes, 5u);
+  EXPECT_NEAR(capacity.max_users, 115.0, 0.5)
+      << "abstract: \"the recorder ... can support a system of up to 115 users\"";
+}
+
+TEST(Queueing, MoreDisksReduceDiskUtilization) {
+  QueueingConfig config = MeanConfig();
+  config.op = StandardOperatingPoints()[4];  // Disk-heavy point.
+  config.nodes = 5;
+  QueueingResult one = RunQueueingSimulation(config);
+  config.disks = 3;
+  QueueingResult three = RunQueueingSimulation(config);
+  EXPECT_LT(three.disk_utilization, one.disk_utilization);
+}
+
+TEST(Queueing, CheckpointTrafficApproximatesMessageBytes) {
+  // The storage-balanced policy writes about as many checkpoint bytes as it
+  // publishes message bytes (§5.1).
+  QueueingConfig config = MeanConfig();
+  config.duration = Seconds(300);
+  QueueingResult result = RunQueueingSimulation(config);
+  ASSERT_GT(result.checkpoint_messages, 0u);
+  const double data_msgs = static_cast<double>(result.messages - result.checkpoint_messages);
+  const double msg_bytes =
+      data_msgs * (config.op.short_msgs_per_second * kShortMessageBytes +
+                   config.op.long_msgs_per_second * kLongMessageBytes) /
+      (config.op.short_msgs_per_second + config.op.long_msgs_per_second);
+  const double ckpt_bytes =
+      static_cast<double>(result.checkpoint_messages) * kCheckpointMessageBytes;
+  EXPECT_NEAR(ckpt_bytes / msg_bytes, 1.0, 0.25);
+}
+
+TEST(Queueing, RecorderBufferStaysSmall) {
+  // §5.1: "we found no cases in which much buffer space was needed in the
+  // recording node (at most 28k bytes)".
+  QueueingConfig config = MeanConfig();
+  QueueingResult result = RunQueueingSimulation(config);
+  EXPECT_LT(result.peak_recorder_buffer_bytes, 64u * 1024u);
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,318 @@
+// Edge-case recovery tests: recorder crash/restart (§3.3.4), recursive
+// crashes (§3.5), recovery onto a spare node, recovery under injected frame
+// faults, channel-selective readers, and crashes of the system processes.
+
+#include <gtest/gtest.h>
+
+#include "src/core/publishing_system.h"
+#include "src/demos/system_programs.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+PublishingSystemConfig BaseConfig(size_t nodes = 2) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = nodes;
+  config.cluster.start_system_processes = false;
+  config.cluster.seed = 77;
+  return config;
+}
+
+void RegisterPrograms(PublishingSystem& system, uint64_t ping_target) {
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register(
+      "pinger", [ping_target] { return std::make_unique<PingerProgram>(ping_target); });
+}
+
+const PingerProgram* PingerAt(PublishingSystem& system, NodeId node, const ProcessId& pid) {
+  return dynamic_cast<const PingerProgram*>(system.cluster().kernel(node)->ProgramFor(pid));
+}
+
+TEST(RecoveryEdge, RecorderCrashSuspendsAllTraffic) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 1000);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+  auto pinger = *system.cluster().names().Locate(ProcessId{NodeId{1}, 2});
+  (void)pinger;
+
+  system.RunFor(Millis(100));
+  auto* client = system.cluster().kernel(NodeId{1});
+  const uint64_t before = client->stats().program_reads;
+  ASSERT_GT(before, 0u);
+
+  system.CrashRecorder();
+  system.RunFor(Seconds(3));
+  // §3.3.4: "all message traffic to processes must be suspended whenever the
+  // recorder goes down."  A stray in-flight delivery or two is tolerable.
+  EXPECT_LE(client->stats().program_reads, before + 2);
+
+  system.RestartRecorder();
+  system.RunFor(Seconds(10));
+  EXPECT_GT(client->stats().program_reads, before + 5) << "traffic resumes after restart";
+}
+
+TEST(RecoveryEdge, RecorderRestartRecoversProcessesThatCrashedWhileItWasDown) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 60);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  system.RunFor(Millis(100));
+  system.CrashRecorder();
+  system.RunFor(Millis(100));
+  // The echo process dies while the recorder is down: the crash trap cannot
+  // be published, so only the restart protocol can find it.
+  system.cluster().kernel(NodeId{2})->CrashProcess(*echo);
+  system.RunFor(Seconds(1));
+  ASSERT_FALSE(system.recovery().IsRecovering(*echo));
+
+  system.RestartRecorder();
+  // §3.3.4: the restart's state queries discover the crashed process and
+  // start recovery.
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(120)));
+  system.RunFor(Seconds(240));
+  EXPECT_EQ(PingerAt(system, NodeId{1}, *pinger)->received(), 60u);
+  EXPECT_GE(system.recovery().stats().state_queries_sent, 2u);
+}
+
+TEST(RecoveryEdge, RecursiveCrashOfRecoveringProcessRestartsRecovery) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 60);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  system.RunFor(Millis(150));
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+  // Let the recovery get going, then crash the recovering process (§3.5).
+  system.RunFor(Millis(30));
+  ASSERT_TRUE(system.recovery().IsRecovering(*echo));
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(300)));
+  system.RunFor(Seconds(300));
+  EXPECT_EQ(PingerAt(system, NodeId{1}, *pinger)->received(), 60u);
+  EXPECT_GE(system.recovery().stats().recursive_recoveries, 1u);
+}
+
+TEST(RecoveryEdge, NodeCrashMigratesProcessesToSpareNode) {
+  PublishingSystemConfig config = BaseConfig(3);
+  config.recovery.node_policy = NodeRecoveryPolicy::kMigrateToSpare;
+  config.recovery.spare_node = NodeId{3};
+  PublishingSystem system(config);
+  RegisterPrograms(system, 40);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  system.RunFor(Millis(100));
+  system.CrashNode(NodeId{2});
+  system.RunFor(Seconds(600));
+
+  // The echo process now lives on the spare node, same pid (§3.3.3:
+  // "processes maintain this identifier, even if they should migrate").
+  EXPECT_EQ(system.cluster().kernel(NodeId{3})->QueryProcessState(*echo),
+            ProcessStateAnswer::kFunctioning);
+  auto location = system.cluster().names().Locate(*echo);
+  ASSERT_TRUE(location.ok());
+  EXPECT_EQ(*location, NodeId{3});
+  EXPECT_EQ(PingerAt(system, NodeId{1}, *pinger)->received(), 40u);
+}
+
+TEST(RecoveryEdge, RecoveryWorksUnderWireFaults) {
+  PublishingSystemConfig config = BaseConfig();
+  config.cluster.faults.receiver_error_rate = 0.1;
+  config.cluster.faults.listener_miss_rate = 0.05;  // Recorder misses 5%.
+  PublishingSystem system(config);
+  RegisterPrograms(system, 40);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+
+  system.RunFor(Millis(300));
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(600)));
+  system.RunFor(Seconds(600));
+
+  EXPECT_EQ(PingerAt(system, NodeId{1}, *pinger)->received(), 40u);
+  const auto* server =
+      dynamic_cast<const EchoProgram*>(system.cluster().kernel(NodeId{2})->ProgramFor(*echo));
+  EXPECT_EQ(server->echoed(), 40u) << "exactly-once must hold even with recorder misses";
+  EXPECT_GT(system.cluster().medium().stats().frames_vetoed, 0u)
+      << "the fault injection must actually have exercised the veto path";
+}
+
+TEST(RecoveryEdge, ChannelSelectiveReaderRecoversWithSameReadOrder) {
+  // A process that reads out of arrival order (§4.4.2) must see the same
+  // read order after recovery.
+  class TwoPhaseReader : public UserProgram {
+   public:
+    std::vector<uint16_t> ReceiveChannels() const override {
+      // Urgent channel (10) until 3 urgent messages are in; then anything.
+      if (urgent_seen_ < 3) {
+        return {10};
+      }
+      return {};
+    }
+    void OnStart(KernelApi& api) override { (void)api; }
+    void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+      (void)api;
+      if (msg.channel == 10) {
+        ++urgent_seen_;
+      }
+      order_hash_ = order_hash_ * 1099511628211ull + msg.channel;
+      order_hash_ = order_hash_ * 1099511628211ull + (msg.body.empty() ? 0 : msg.body[0]);
+      ++reads_;
+    }
+    void SaveState(Writer& w) const override {
+      w.WriteU64(urgent_seen_);
+      w.WriteU64(order_hash_);
+      w.WriteU64(reads_);
+    }
+    Status LoadState(Reader& r) override {
+      urgent_seen_ = *r.ReadU64();
+      order_hash_ = *r.ReadU64();
+      reads_ = *r.ReadU64();
+      return Status::Ok();
+    }
+    uint64_t order_hash() const { return order_hash_; }
+    uint64_t reads() const { return reads_; }
+
+   private:
+    uint64_t urgent_seen_ = 0;
+    uint64_t order_hash_ = 14695981039346656037ull;
+    uint64_t reads_ = 0;
+  };
+
+  class BurstSender : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      // 4 normal (channel 20) first, then 3 urgent (channel 10): the reader
+      // will consume urgent ones out of queue order.
+      for (uint8_t i = 0; i < 4; ++i) {
+        api.Send(LinkId{1}, Bytes{i});
+      }
+      for (uint8_t i = 0; i < 3; ++i) {
+        api.Send(LinkId{2}, Bytes{static_cast<uint8_t>(100 + i)});
+      }
+    }
+    void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+    void SaveState(Writer&) const override {}
+    Status LoadState(Reader&) override { return Status::Ok(); }
+  };
+
+  auto run = [](bool crash) {
+    PublishingSystem system(BaseConfig());
+    system.cluster().registry().Register(
+        "reader", [] { return std::make_unique<TwoPhaseReader>(); });
+    system.cluster().registry().Register(
+        "burst", [] { return std::make_unique<BurstSender>(); });
+    auto reader = system.cluster().Spawn(NodeId{2}, "reader");
+    system.cluster().Spawn(NodeId{1}, "burst",
+                           {Link{*reader, 20, 0, 0}, Link{*reader, 10, 0, 0}});
+    system.RunFor(Seconds(5));
+    if (crash) {
+      system.CrashProcess(*reader);
+      system.RunUntilRecovered(*reader, Seconds(120));
+      system.RunFor(Seconds(60));
+    }
+    const auto* program = dynamic_cast<const TwoPhaseReader*>(
+        system.cluster().kernel(NodeId{2})->ProgramFor(*reader));
+    EXPECT_EQ(program->reads(), 7u);
+    return program->order_hash();
+  };
+
+  EXPECT_EQ(run(false), run(true))
+      << "replay must reproduce the original out-of-order read sequence";
+}
+
+TEST(RecoveryEdge, ProcessManagerCrashMidCreationRecoversAndCompletes) {
+  PublishingSystemConfig config = BaseConfig(2);
+  config.cluster.start_system_processes = true;
+  PublishingSystem system(config);
+  system.cluster().registry().Register("child",
+                                       [] { return std::make_unique<AccumulatorProgram>(); });
+
+  // A requester that creates 5 children sequentially.
+  class Requester : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      api.RequestCreateProcess("child", NodeId{2}, 6, {});
+    }
+    void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+      if (msg.channel != 6) {
+        return;
+      }
+      auto reply = DecodeCreateProcessReply(msg.body);
+      if (reply.ok() && reply->ok) {
+        ++created_;
+        if (created_ < 5) {
+          api.RequestCreateProcess("child", NodeId{2}, 6, {});
+        }
+      }
+    }
+    void SaveState(Writer& w) const override { w.WriteU64(created_); }
+    Status LoadState(Reader& r) override {
+      created_ = *r.ReadU64();
+      return Status::Ok();
+    }
+    uint64_t created_ = 0;
+  };
+  system.cluster().registry().Register("requester",
+                                       [] { return std::make_unique<Requester>(); });
+  system.RunFor(Seconds(2));
+  auto requester = system.cluster().Spawn(NodeId{1}, "requester");
+
+  system.RunFor(Millis(80));
+  // Crash the process manager itself mid-stream.
+  ASSERT_TRUE(system.CrashProcess(system.cluster().process_manager()).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(system.cluster().process_manager(), Seconds(300)));
+  system.RunFor(Seconds(600));
+
+  const auto* program = dynamic_cast<const Requester*>(
+      system.cluster().kernel(NodeId{1})->ProgramFor(*requester));
+  ASSERT_NE(program, nullptr);
+  EXPECT_EQ(program->created_, 5u)
+      << "creations in flight across the manager crash must still complete";
+  // Exactly 5 children exist (no duplicates from replayed requests).
+  size_t children = 0;
+  for (const ProcessId& pid : system.cluster().kernel(NodeId{2})->LiveProcesses()) {
+    auto info = system.storage().Info(pid);
+    if (info.ok() && info->program == "child") {
+      ++children;
+    }
+  }
+  EXPECT_EQ(children, 5u);
+}
+
+TEST(RecoveryEdge, DestroyedProcessIsNotRecovered) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 10);
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  system.RunFor(Millis(50));
+  // Destroy it properly, then crash the node: recovery must not resurrect it.
+  class Destroyer : public UserProgram {
+   public:
+    void OnStart(KernelApi& api) override {
+      api.Send(LinkId{1}, EncodeOpOnly(KernelOp::kDestroyProcess));
+      api.Exit();
+    }
+    void OnMessage(KernelApi&, const DeliveredMessage&) override {}
+    void SaveState(Writer&) const override {}
+    Status LoadState(Reader&) override { return Status::Ok(); }
+  };
+  system.cluster().registry().Register("destroyer",
+                                       [] { return std::make_unique<Destroyer>(); });
+  system.cluster().Spawn(NodeId{1}, "destroyer", {Link{*echo, 0, 0, kLinkDeliverToKernel}});
+  system.RunFor(Seconds(5));
+  ASSERT_EQ(system.cluster().kernel(NodeId{2})->QueryProcessState(*echo),
+            ProcessStateAnswer::kUnknown);
+
+  system.CrashNode(NodeId{2});
+  system.RunFor(Seconds(60));
+  EXPECT_EQ(system.cluster().kernel(NodeId{2})->QueryProcessState(*echo),
+            ProcessStateAnswer::kUnknown)
+      << "destroyed processes must stay destroyed across node recovery";
+}
+
+}  // namespace
+}  // namespace publishing

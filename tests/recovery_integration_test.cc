@@ -1,0 +1,186 @@
+// End-to-end crash/recovery tests across the whole stack: medium, transport,
+// kernel, recorder, recovery manager.  These are the tests that check the
+// paper's core claim — a crashed deterministic process, restored from a
+// checkpoint (or its initial image) and replayed its published messages,
+// is indistinguishable from one that never crashed.
+
+#include <gtest/gtest.h>
+
+#include "src/core/publishing_system.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+PublishingSystemConfig BaseConfig(size_t nodes = 2) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = nodes;
+  config.cluster.start_system_processes = false;
+  config.cluster.seed = 42;
+  return config;
+}
+
+void RegisterPrograms(PublishingSystem& system, uint64_t ping_target = 10) {
+  system.cluster().registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register(
+      "pinger", [ping_target] { return std::make_unique<PingerProgram>(ping_target); });
+  system.cluster().registry().Register("accumulator",
+                                       [] { return std::make_unique<AccumulatorProgram>(); });
+}
+
+const PingerProgram* PingerAt(PublishingSystem& system, NodeId node, const ProcessId& pid) {
+  return dynamic_cast<const PingerProgram*>(system.cluster().kernel(node)->ProgramFor(pid));
+}
+
+const EchoProgram* EchoAt(PublishingSystem& system, NodeId node, const ProcessId& pid) {
+  return dynamic_cast<const EchoProgram*>(system.cluster().kernel(node)->ProgramFor(pid));
+}
+
+TEST(RecoveryIntegration, PingPongCompletesWithoutFaults) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 20);
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  ASSERT_TRUE(echo.ok());
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger",
+                                       {Link{*echo, /*channel=*/1, /*code=*/7, 0}});
+  ASSERT_TRUE(pinger.ok());
+
+  system.RunFor(Seconds(60));
+  const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sent(), 20u);
+  EXPECT_EQ(p->received(), 20u);
+  EXPECT_GT(system.recorder().stats().messages_published, 0u);
+}
+
+TEST(RecoveryIntegration, ServerCrashRecoversFromInitialImage) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 30);
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  ASSERT_TRUE(echo.ok());
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+  ASSERT_TRUE(pinger.ok());
+
+  system.RunFor(Millis(120));
+  const PingerProgram* p_mid = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p_mid, nullptr);
+  ASSERT_GT(p_mid->received(), 0u);
+  ASSERT_LT(p_mid->received(), 30u) << "crash must land mid-run to be interesting";
+
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(120)));
+  system.RunFor(Seconds(120));
+
+  const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->received(), 30u) << "recovered server must serve the remaining pings";
+  const EchoProgram* e = EchoAt(system, NodeId{2}, *echo);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->echoed(), 30u) << "replay + live traffic must deliver each ping exactly once";
+}
+
+TEST(RecoveryIntegration, ClientCrashRecoversAndFinishes) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 25);
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  ASSERT_TRUE(echo.ok());
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+  ASSERT_TRUE(pinger.ok());
+
+  system.RunFor(Millis(120));
+  ASSERT_TRUE(system.CrashProcess(*pinger).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(*pinger, Seconds(120)));
+  system.RunFor(Seconds(120));
+
+  const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->sent(), 25u);
+  EXPECT_EQ(p->received(), 25u);
+  // Exactly-once on the server side despite the client's resends being
+  // replayed/suppressed.
+  const EchoProgram* e = EchoAt(system, NodeId{2}, *echo);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->echoed(), 25u);
+}
+
+TEST(RecoveryIntegration, CrashFreeAndCrashedRunsProduceIdenticalTranscripts) {
+  // Reference run: no faults.
+  std::vector<uint8_t> reference;
+  {
+    PublishingSystem system(BaseConfig());
+    RegisterPrograms(system, 15);
+    auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+    auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+    system.RunFor(Seconds(120));
+    const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p->received(), 15u);
+    reference = p->transcript();
+  }
+  // Crash run: server crashes mid-stream.
+  {
+    PublishingSystem system(BaseConfig());
+    RegisterPrograms(system, 15);
+    auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+    auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+    system.RunFor(Millis(80));
+    ASSERT_TRUE(system.CrashProcess(*echo).ok());
+    ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(120)));
+    system.RunFor(Seconds(240));
+    const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+    ASSERT_NE(p, nullptr);
+    ASSERT_EQ(p->received(), 15u);
+    EXPECT_EQ(p->transcript(), reference)
+        << "the client must observe the same interaction sequence as a crash-free run";
+  }
+}
+
+TEST(RecoveryIntegration, CheckpointShortensReplayAndStillRecovers) {
+  PublishingSystem system(BaseConfig());
+  RegisterPrograms(system, 40);
+  system.EnableCheckpointPolicy(std::make_unique<FixedIntervalPolicy>(Millis(500)), Millis(100));
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+
+  system.RunFor(Seconds(4));
+  ASSERT_GT(system.recorder().stats().checkpoints_stored, 0u);
+
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(120)));
+  system.RunFor(Seconds(240));
+
+  const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->received(), 40u);
+  const EchoProgram* e = EchoAt(system, NodeId{2}, *echo);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->echoed(), 40u);
+}
+
+TEST(RecoveryIntegration, NodeCrashRecoversAllProcessesViaWatchdog) {
+  PublishingSystemConfig config = BaseConfig(3);
+  PublishingSystem system(config);
+  RegisterPrograms(system, 30);
+
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 7, 0}});
+
+  system.RunFor(Millis(120));
+  ASSERT_TRUE(system.CrashNode(NodeId{2}).ok());
+  // The watchdog must notice the silence, power-cycle the node, and recover
+  // the echo server — no direct recovery call here.
+  system.RunFor(Seconds(300));
+
+  const PingerProgram* p = PingerAt(system, NodeId{1}, *pinger);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(p->received(), 30u);
+  EXPECT_GE(system.recovery().stats().node_crashes_detected, 1u);
+  EXPECT_GE(system.recovery().stats().process_recoveries_completed, 1u);
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,120 @@
+// Tests for the offline replay debugger (§6.5).
+
+#include <gtest/gtest.h>
+
+#include "src/core/publishing_system.h"
+#include "src/core/replay_debugger.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+struct DebugFixture {
+  DebugFixture() {
+    PublishingSystemConfig config;
+    config.cluster.node_count = 2;
+    config.cluster.start_system_processes = false;
+    config.cluster.seed = 3;
+    system = std::make_unique<PublishingSystem>(config);
+    system->cluster().registry().Register("echo",
+                                          [] { return std::make_unique<EchoProgram>(); });
+    system->cluster().registry().Register("pinger",
+                                          [] { return std::make_unique<PingerProgram>(15); });
+    echo = *system->cluster().Spawn(NodeId{2}, "echo");
+    pinger = *system->cluster().Spawn(NodeId{1}, "pinger", {Link{echo, 1, 0, 0}});
+  }
+
+  uint64_t LiveEchoCount() {
+    return dynamic_cast<const EchoProgram*>(system->cluster().kernel(NodeId{2})->ProgramFor(echo))
+        ->echoed();
+  }
+
+  std::unique_ptr<PublishingSystem> system;
+  ProcessId echo;
+  ProcessId pinger;
+};
+
+TEST(ReplayDebugger, ReconstructsStateFromInitialImage) {
+  DebugFixture f;
+  f.system->RunFor(Seconds(30));
+  ASSERT_EQ(f.LiveEchoCount(), 15u);
+
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(debugger.Initialize().ok());
+  EXPECT_EQ(debugger.remaining(), 15u);
+  auto steps = debugger.RunToEnd();
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ(*steps, 15u);
+  EXPECT_EQ(dynamic_cast<const EchoProgram*>(debugger.program())->echoed(), 15u);
+}
+
+TEST(ReplayDebugger, ReconstructsFromCheckpointPlusTail) {
+  DebugFixture f;
+  f.system->RunFor(Millis(15));
+  f.system->cluster().kernel(NodeId{2})->CheckpointProcess(f.echo);
+  f.system->RunFor(Seconds(30));
+  ASSERT_EQ(f.LiveEchoCount(), 15u);
+
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(debugger.Initialize().ok());
+  EXPECT_LT(debugger.remaining(), 15u) << "the checkpoint must subsume some messages";
+  ASSERT_TRUE(debugger.RunToEnd().ok());
+  EXPECT_EQ(dynamic_cast<const EchoProgram*>(debugger.program())->echoed(), 15u);
+}
+
+TEST(ReplayDebugger, StepsReportTheSendsTheProgramWouldMake) {
+  DebugFixture f;
+  f.system->RunFor(Seconds(30));
+
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(debugger.Initialize().ok());
+  auto step = debugger.Step();
+  ASSERT_TRUE(step.ok());
+  ASSERT_EQ(step->sends.size(), 1u) << "the echo replies once per ping";
+  EXPECT_EQ(step->sends[0].dest, f.pinger);
+  EXPECT_EQ(step->sends[0].channel, PingerProgram::kPongChannel);
+}
+
+TEST(ReplayDebugger, RunUntilMessageStopsMidHistory) {
+  DebugFixture f;
+  f.system->RunFor(Seconds(30));
+
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(debugger.Initialize().ok());
+  // The 5th ping carries the pinger's 5th message id... find it by stepping
+  // a scout debugger, then use RunUntilMessage on a fresh one.
+  ReplayDebugger scout(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(scout.Initialize().ok());
+  MessageId fifth;
+  for (int i = 0; i < 5; ++i) {
+    auto step = scout.Step();
+    ASSERT_TRUE(step.ok());
+    fifth = step->id;
+  }
+  auto steps = debugger.RunUntilMessage(fifth);
+  ASSERT_TRUE(steps.ok());
+  EXPECT_EQ(*steps, 5u);
+  EXPECT_EQ(dynamic_cast<const EchoProgram*>(debugger.program())->echoed(), 5u);
+  EXPECT_FALSE(debugger.AtEnd());
+}
+
+TEST(ReplayDebugger, UnknownProcessFailsCleanly) {
+  DebugFixture f;
+  f.system->RunFor(Seconds(5));
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(),
+                          ProcessId{NodeId{9}, 99});
+  EXPECT_FALSE(debugger.Initialize().ok());
+}
+
+TEST(ReplayDebugger, MissingMessageIdReportsNotFound) {
+  DebugFixture f;
+  f.system->RunFor(Seconds(30));
+  ReplayDebugger debugger(&f.system->storage(), &f.system->cluster().registry(), f.echo);
+  ASSERT_TRUE(debugger.Initialize().ok());
+  auto steps = debugger.RunUntilMessage(MessageId{ProcessId{NodeId{7}, 7}, 7});
+  ASSERT_FALSE(steps.ok());
+  EXPECT_EQ(steps.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace publishing

@@ -1,0 +1,157 @@
+// Unit tests for the discrete-event simulator and statistics helpers.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace publishing {
+namespace {
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.ScheduleAt(Millis(30), [&] { order.push_back(3); });
+  sim.ScheduleAt(Millis(10), [&] { order.push_back(1); });
+  sim.ScheduleAt(Millis(20), [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), Millis(30));
+}
+
+TEST(Simulator, SameTimeEventsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    sim.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(Simulator, ScheduleAfterIsRelativeToNow) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.ScheduleAt(Millis(10), [&] {
+    sim.ScheduleAfter(Millis(5), [&] { fired_at = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired_at, Millis(15));
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId id = sim.ScheduleAt(Millis(10), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id)) << "double cancel must report failure";
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, CancelAfterFireReportsFailure) {
+  Simulator sim;
+  EventId id = sim.ScheduleAt(Millis(1), [] {});
+  sim.Run();
+  EXPECT_FALSE(sim.Cancel(id));
+}
+
+TEST(Simulator, CancelInvalidIdIsSafe) {
+  Simulator sim;
+  EXPECT_FALSE(sim.Cancel(EventId{}));
+  EXPECT_FALSE(sim.Cancel(EventId{9999}));
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWhenIdle) {
+  Simulator sim;
+  sim.RunUntil(Seconds(3));
+  EXPECT_EQ(sim.Now(), Seconds(3));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  bool early = false;
+  bool late = false;
+  sim.ScheduleAt(Millis(10), [&] { early = true; });
+  sim.ScheduleAt(Millis(30), [&] { late = true; });
+  sim.RunUntil(Millis(20));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.Now(), Millis(20));
+  sim.Run();
+  EXPECT_TRUE(late);
+}
+
+TEST(Simulator, StepReturnsFalseWhenDrained) {
+  Simulator sim;
+  sim.ScheduleAt(1, [] {});
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(Simulator, PendingEventsAccounting) {
+  Simulator sim;
+  EventId a = sim.ScheduleAt(1, [] {});
+  sim.ScheduleAt(2, [] {});
+  EXPECT_EQ(sim.pending_events(), 2u);
+  sim.Cancel(a);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.Run();
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(PeriodicTask, FiresEveryPeriodUntilStopped) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, Millis(10), [&] { ++fired; });
+  task.Start();
+  sim.RunUntil(Millis(55));
+  EXPECT_EQ(fired, 5);
+  task.Stop();
+  sim.RunUntil(Millis(200));
+  EXPECT_EQ(fired, 5);
+}
+
+TEST(PeriodicTask, StopFromWithinBodyIsSafe) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask task(&sim, Millis(10), [&] {
+    ++fired;
+    // Stopping oneself mid-callback must not re-arm.
+  });
+  task.Start();
+  sim.ScheduleAt(Millis(25), [&] { task.Stop(); });
+  sim.RunUntil(Millis(100));
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Stats, StatAccumulatorBasics) {
+  StatAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  acc.Add(2.0);
+  acc.Add(4.0);
+  acc.Add(9.0);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(Stats, UtilizationTracksBusyFraction) {
+  UtilizationTracker util;
+  util.SetBusy(Millis(0), true);
+  util.SetBusy(Millis(30), false);
+  util.SetBusy(Millis(80), true);
+  util.SetBusy(Millis(100), false);
+  util.Finish(Millis(100));
+  EXPECT_DOUBLE_EQ(util.Utilization(), 0.5);
+  EXPECT_EQ(util.busy_time(), Millis(50));
+}
+
+}  // namespace
+}  // namespace publishing

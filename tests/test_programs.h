@@ -1,0 +1,172 @@
+// Deterministic programs shared by the test suites and benches.
+
+#ifndef TESTS_TEST_PROGRAMS_H_
+#define TESTS_TEST_PROGRAMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/demos/program.h"
+
+namespace publishing {
+
+// Replies to every message: if the message passed a reply link, echoes the
+// body back over it (consuming the link).
+class EchoProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    ++echoed_;
+    if (msg.passed_link.IsValid()) {
+      api.Send(msg.passed_link, msg.body);
+    }
+  }
+
+  void SaveState(Writer& w) const override { w.WriteU64(echoed_); }
+  Status LoadState(Reader& r) override {
+    auto echoed = r.ReadU64();
+    if (!echoed.ok()) {
+      return echoed.status();
+    }
+    echoed_ = *echoed;
+    return Status::Ok();
+  }
+
+  uint64_t echoed() const { return echoed_; }
+
+ private:
+  uint64_t echoed_ = 0;
+};
+
+// Sends `target` pings over initial link 1 (each carrying a fresh reply
+// link on channel 2) and counts the echoes.  The body of ping i is the
+// 8-byte little-endian value i, so transcripts are comparable across runs.
+class PingerProgram : public UserProgram {
+ public:
+  static constexpr uint16_t kPongChannel = 2;
+  static constexpr uint32_t kServerLink = 1;
+
+  explicit PingerProgram(uint64_t target = 10) : target_(target) {}
+
+  void OnStart(KernelApi& api) override { SendNext(api); }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    if (msg.channel != kPongChannel) {
+      return;
+    }
+    ++received_;
+    transcript_.push_back(msg.body.size() >= 8 ? msg.body[0] : 0xFF);
+    if (sent_ < target_) {
+      SendNext(api);
+    }
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(target_);
+    w.WriteU64(sent_);
+    w.WriteU64(received_);
+    w.WriteU32(static_cast<uint32_t>(transcript_.size()));
+    for (uint8_t b : transcript_) {
+      w.WriteU8(b);
+    }
+  }
+
+  Status LoadState(Reader& r) override {
+    auto target = r.ReadU64();
+    if (!target.ok()) {
+      return target.status();
+    }
+    target_ = *target;
+    auto sent = r.ReadU64();
+    if (!sent.ok()) {
+      return sent.status();
+    }
+    sent_ = *sent;
+    auto received = r.ReadU64();
+    if (!received.ok()) {
+      return received.status();
+    }
+    received_ = *received;
+    auto count = r.ReadU32();
+    if (!count.ok()) {
+      return count.status();
+    }
+    transcript_.clear();
+    for (uint32_t i = 0; i < *count; ++i) {
+      auto b = r.ReadU8();
+      if (!b.ok()) {
+        return b.status();
+      }
+      transcript_.push_back(*b);
+    }
+    return Status::Ok();
+  }
+
+  uint64_t sent() const { return sent_; }
+  uint64_t received() const { return received_; }
+  bool done() const { return received_ >= target_; }
+  const std::vector<uint8_t>& transcript() const { return transcript_; }
+
+ private:
+  void SendNext(KernelApi& api) {
+    auto reply = api.CreateLink(kPongChannel, static_cast<uint32_t>(sent_));
+    if (!reply.ok()) {
+      return;
+    }
+    Writer w;
+    w.WriteU64(sent_);
+    ++sent_;
+    api.Send(LinkId{kServerLink}, w.TakeBytes(), *reply);
+  }
+
+  uint64_t target_;
+  uint64_t sent_ = 0;
+  uint64_t received_ = 0;
+  std::vector<uint8_t> transcript_;
+};
+
+// Accumulates a checksum over everything it receives — used to compare a
+// crash/recovery run against a crash-free run bit for bit.
+class AccumulatorProgram : public UserProgram {
+ public:
+  void OnStart(KernelApi& api) override { (void)api; }
+
+  void OnMessage(KernelApi& api, const DeliveredMessage& msg) override {
+    (void)api;
+    ++count_;
+    for (uint8_t b : msg.body) {
+      hash_ = hash_ * 1099511628211ull + b;
+    }
+    hash_ = hash_ * 1099511628211ull + msg.channel;
+  }
+
+  void SaveState(Writer& w) const override {
+    w.WriteU64(count_);
+    w.WriteU64(hash_);
+  }
+  Status LoadState(Reader& r) override {
+    auto count = r.ReadU64();
+    if (!count.ok()) {
+      return count.status();
+    }
+    count_ = *count;
+    auto hash = r.ReadU64();
+    if (!hash.ok()) {
+      return hash.status();
+    }
+    hash_ = *hash;
+    return Status::Ok();
+  }
+
+  uint64_t count() const { return count_; }
+  uint64_t hash() const { return hash_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t hash_ = 14695981039346656037ull;
+};
+
+}  // namespace publishing
+
+#endif  // TESTS_TEST_PROGRAMS_H_
