@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_4_operating_points"
+  "../bench/bench_fig5_4_operating_points.pdb"
+  "CMakeFiles/bench_fig5_4_operating_points.dir/bench_fig5_4_operating_points.cc.o"
+  "CMakeFiles/bench_fig5_4_operating_points.dir/bench_fig5_4_operating_points.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_4_operating_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

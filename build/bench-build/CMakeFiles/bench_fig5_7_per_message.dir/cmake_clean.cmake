@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_7_per_message"
+  "../bench/bench_fig5_7_per_message.pdb"
+  "CMakeFiles/bench_fig5_7_per_message.dir/bench_fig5_7_per_message.cc.o"
+  "CMakeFiles/bench_fig5_7_per_message.dir/bench_fig5_7_per_message.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_7_per_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

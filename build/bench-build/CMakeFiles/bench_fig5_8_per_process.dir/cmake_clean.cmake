@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig5_8_per_process"
+  "../bench/bench_fig5_8_per_process.pdb"
+  "CMakeFiles/bench_fig5_8_per_process.dir/bench_fig5_8_per_process.cc.o"
+  "CMakeFiles/bench_fig5_8_per_process.dir/bench_fig5_8_per_process.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_8_per_process.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

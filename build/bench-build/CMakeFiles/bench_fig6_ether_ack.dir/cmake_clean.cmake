@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_ether_ack"
+  "../bench/bench_fig6_ether_ack.pdb"
+  "CMakeFiles/bench_fig6_ether_ack.dir/bench_fig6_ether_ack.cc.o"
+  "CMakeFiles/bench_fig6_ether_ack.dir/bench_fig6_ether_ack.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_ether_ack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

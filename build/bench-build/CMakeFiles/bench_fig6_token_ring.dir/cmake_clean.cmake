@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig6_token_ring"
+  "../bench/bench_fig6_token_ring.pdb"
+  "CMakeFiles/bench_fig6_token_ring.dir/bench_fig6_token_ring.cc.o"
+  "CMakeFiles/bench_fig6_token_ring.dir/bench_fig6_token_ring.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_token_ring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_recovery_time_model.cc" "bench-build/CMakeFiles/bench_recovery_time_model.dir/bench_recovery_time_model.cc.o" "gcc" "bench-build/CMakeFiles/bench_recovery_time_model.dir/bench_recovery_time_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/demos/CMakeFiles/pub_demos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pub_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pub_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

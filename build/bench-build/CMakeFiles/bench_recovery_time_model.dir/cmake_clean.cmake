@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_recovery_time_model"
+  "../bench/bench_recovery_time_model.pdb"
+  "CMakeFiles/bench_recovery_time_model.dir/bench_recovery_time_model.cc.o"
+  "CMakeFiles/bench_recovery_time_model.dir/bench_recovery_time_model.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_time_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

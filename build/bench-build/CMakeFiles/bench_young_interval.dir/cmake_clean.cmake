@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_young_interval"
+  "../bench/bench_young_interval.pdb"
+  "CMakeFiles/bench_young_interval.dir/bench_young_interval.cc.o"
+  "CMakeFiles/bench_young_interval.dir/bench_young_interval.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_young_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

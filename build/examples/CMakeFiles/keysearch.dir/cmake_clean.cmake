@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/keysearch.dir/keysearch.cpp.o"
+  "CMakeFiles/keysearch.dir/keysearch.cpp.o.d"
+  "keysearch"
+  "keysearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/keysearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

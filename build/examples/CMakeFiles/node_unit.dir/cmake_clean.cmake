@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_unit.dir/node_unit.cpp.o"
+  "CMakeFiles/node_unit.dir/node_unit.cpp.o.d"
+  "node_unit"
+  "node_unit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_unit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

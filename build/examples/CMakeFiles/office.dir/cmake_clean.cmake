@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/office.dir/office.cpp.o"
+  "CMakeFiles/office.dir/office.cpp.o.d"
+  "office"
+  "office.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/office.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

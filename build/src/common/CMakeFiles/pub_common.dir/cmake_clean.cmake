@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_common.dir/checksum.cc.o"
+  "CMakeFiles/pub_common.dir/checksum.cc.o.d"
+  "CMakeFiles/pub_common.dir/ids.cc.o"
+  "CMakeFiles/pub_common.dir/ids.cc.o.d"
+  "CMakeFiles/pub_common.dir/logging.cc.o"
+  "CMakeFiles/pub_common.dir/logging.cc.o.d"
+  "CMakeFiles/pub_common.dir/status.cc.o"
+  "CMakeFiles/pub_common.dir/status.cc.o.d"
+  "libpub_common.a"
+  "libpub_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

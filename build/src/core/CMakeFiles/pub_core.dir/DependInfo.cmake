@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/checkpoint_policy.cc" "src/core/CMakeFiles/pub_core.dir/checkpoint_policy.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/checkpoint_policy.cc.o.d"
+  "/root/repo/src/core/publishing_system.cc" "src/core/CMakeFiles/pub_core.dir/publishing_system.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/publishing_system.cc.o.d"
+  "/root/repo/src/core/recorder.cc" "src/core/CMakeFiles/pub_core.dir/recorder.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/recorder.cc.o.d"
+  "/root/repo/src/core/recorder_group.cc" "src/core/CMakeFiles/pub_core.dir/recorder_group.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/recorder_group.cc.o.d"
+  "/root/repo/src/core/recovery_manager.cc" "src/core/CMakeFiles/pub_core.dir/recovery_manager.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/recovery_manager.cc.o.d"
+  "/root/repo/src/core/replay_debugger.cc" "src/core/CMakeFiles/pub_core.dir/replay_debugger.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/replay_debugger.cc.o.d"
+  "/root/repo/src/core/stable_storage.cc" "src/core/CMakeFiles/pub_core.dir/stable_storage.cc.o" "gcc" "src/core/CMakeFiles/pub_core.dir/stable_storage.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pub_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/demos/CMakeFiles/pub_demos.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_core.dir/checkpoint_policy.cc.o"
+  "CMakeFiles/pub_core.dir/checkpoint_policy.cc.o.d"
+  "CMakeFiles/pub_core.dir/publishing_system.cc.o"
+  "CMakeFiles/pub_core.dir/publishing_system.cc.o.d"
+  "CMakeFiles/pub_core.dir/recorder.cc.o"
+  "CMakeFiles/pub_core.dir/recorder.cc.o.d"
+  "CMakeFiles/pub_core.dir/recorder_group.cc.o"
+  "CMakeFiles/pub_core.dir/recorder_group.cc.o.d"
+  "CMakeFiles/pub_core.dir/recovery_manager.cc.o"
+  "CMakeFiles/pub_core.dir/recovery_manager.cc.o.d"
+  "CMakeFiles/pub_core.dir/replay_debugger.cc.o"
+  "CMakeFiles/pub_core.dir/replay_debugger.cc.o.d"
+  "CMakeFiles/pub_core.dir/stable_storage.cc.o"
+  "CMakeFiles/pub_core.dir/stable_storage.cc.o.d"
+  "libpub_core.a"
+  "libpub_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpub_core.a"
+)

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/demos/cluster.cc" "src/demos/CMakeFiles/pub_demos.dir/cluster.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/cluster.cc.o.d"
+  "/root/repo/src/demos/link.cc" "src/demos/CMakeFiles/pub_demos.dir/link.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/link.cc.o.d"
+  "/root/repo/src/demos/node_image.cc" "src/demos/CMakeFiles/pub_demos.dir/node_image.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/node_image.cc.o.d"
+  "/root/repo/src/demos/node_kernel.cc" "src/demos/CMakeFiles/pub_demos.dir/node_kernel.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/node_kernel.cc.o.d"
+  "/root/repo/src/demos/process_image.cc" "src/demos/CMakeFiles/pub_demos.dir/process_image.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/process_image.cc.o.d"
+  "/root/repo/src/demos/protocol.cc" "src/demos/CMakeFiles/pub_demos.dir/protocol.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/protocol.cc.o.d"
+  "/root/repo/src/demos/system_programs.cc" "src/demos/CMakeFiles/pub_demos.dir/system_programs.cc.o" "gcc" "src/demos/CMakeFiles/pub_demos.dir/system_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pub_transport.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

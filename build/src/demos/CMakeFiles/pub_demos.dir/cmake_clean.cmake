@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_demos.dir/cluster.cc.o"
+  "CMakeFiles/pub_demos.dir/cluster.cc.o.d"
+  "CMakeFiles/pub_demos.dir/link.cc.o"
+  "CMakeFiles/pub_demos.dir/link.cc.o.d"
+  "CMakeFiles/pub_demos.dir/node_image.cc.o"
+  "CMakeFiles/pub_demos.dir/node_image.cc.o.d"
+  "CMakeFiles/pub_demos.dir/node_kernel.cc.o"
+  "CMakeFiles/pub_demos.dir/node_kernel.cc.o.d"
+  "CMakeFiles/pub_demos.dir/process_image.cc.o"
+  "CMakeFiles/pub_demos.dir/process_image.cc.o.d"
+  "CMakeFiles/pub_demos.dir/protocol.cc.o"
+  "CMakeFiles/pub_demos.dir/protocol.cc.o.d"
+  "CMakeFiles/pub_demos.dir/system_programs.cc.o"
+  "CMakeFiles/pub_demos.dir/system_programs.cc.o.d"
+  "libpub_demos.a"
+  "libpub_demos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_demos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

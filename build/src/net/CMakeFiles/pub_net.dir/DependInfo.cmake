@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/ethernet.cc" "src/net/CMakeFiles/pub_net.dir/ethernet.cc.o" "gcc" "src/net/CMakeFiles/pub_net.dir/ethernet.cc.o.d"
+  "/root/repo/src/net/frame.cc" "src/net/CMakeFiles/pub_net.dir/frame.cc.o" "gcc" "src/net/CMakeFiles/pub_net.dir/frame.cc.o.d"
+  "/root/repo/src/net/link_layer.cc" "src/net/CMakeFiles/pub_net.dir/link_layer.cc.o" "gcc" "src/net/CMakeFiles/pub_net.dir/link_layer.cc.o.d"
+  "/root/repo/src/net/star_hub.cc" "src/net/CMakeFiles/pub_net.dir/star_hub.cc.o" "gcc" "src/net/CMakeFiles/pub_net.dir/star_hub.cc.o.d"
+  "/root/repo/src/net/token_ring.cc" "src/net/CMakeFiles/pub_net.dir/token_ring.cc.o" "gcc" "src/net/CMakeFiles/pub_net.dir/token_ring.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_net.dir/ethernet.cc.o"
+  "CMakeFiles/pub_net.dir/ethernet.cc.o.d"
+  "CMakeFiles/pub_net.dir/frame.cc.o"
+  "CMakeFiles/pub_net.dir/frame.cc.o.d"
+  "CMakeFiles/pub_net.dir/link_layer.cc.o"
+  "CMakeFiles/pub_net.dir/link_layer.cc.o.d"
+  "CMakeFiles/pub_net.dir/star_hub.cc.o"
+  "CMakeFiles/pub_net.dir/star_hub.cc.o.d"
+  "CMakeFiles/pub_net.dir/token_ring.cc.o"
+  "CMakeFiles/pub_net.dir/token_ring.cc.o.d"
+  "libpub_net.a"
+  "libpub_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

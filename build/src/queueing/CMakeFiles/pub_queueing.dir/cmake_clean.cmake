@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_queueing.dir/params.cc.o"
+  "CMakeFiles/pub_queueing.dir/params.cc.o.d"
+  "CMakeFiles/pub_queueing.dir/simulation.cc.o"
+  "CMakeFiles/pub_queueing.dir/simulation.cc.o.d"
+  "libpub_queueing.a"
+  "libpub_queueing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_queueing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

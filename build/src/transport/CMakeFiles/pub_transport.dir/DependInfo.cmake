@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/endpoint.cc" "src/transport/CMakeFiles/pub_transport.dir/endpoint.cc.o" "gcc" "src/transport/CMakeFiles/pub_transport.dir/endpoint.cc.o.d"
+  "/root/repo/src/transport/packet.cc" "src/transport/CMakeFiles/pub_transport.dir/packet.cc.o" "gcc" "src/transport/CMakeFiles/pub_transport.dir/packet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pub_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

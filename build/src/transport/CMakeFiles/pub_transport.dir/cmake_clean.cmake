@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pub_transport.dir/endpoint.cc.o"
+  "CMakeFiles/pub_transport.dir/endpoint.cc.o.d"
+  "CMakeFiles/pub_transport.dir/packet.cc.o"
+  "CMakeFiles/pub_transport.dir/packet.cc.o.d"
+  "libpub_transport.a"
+  "libpub_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pub_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

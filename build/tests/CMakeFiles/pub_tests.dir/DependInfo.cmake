@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/chaos_test.cc" "tests/CMakeFiles/pub_tests.dir/chaos_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/chaos_test.cc.o.d"
+  "/root/repo/tests/common_test.cc" "tests/CMakeFiles/pub_tests.dir/common_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/common_test.cc.o.d"
+  "/root/repo/tests/core_models_test.cc" "tests/CMakeFiles/pub_tests.dir/core_models_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/core_models_test.cc.o.d"
+  "/root/repo/tests/demos_kernel_test.cc" "tests/CMakeFiles/pub_tests.dir/demos_kernel_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/demos_kernel_test.cc.o.d"
+  "/root/repo/tests/fuzz_decode_test.cc" "tests/CMakeFiles/pub_tests.dir/fuzz_decode_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/fuzz_decode_test.cc.o.d"
+  "/root/repo/tests/multi_recorder_test.cc" "tests/CMakeFiles/pub_tests.dir/multi_recorder_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/multi_recorder_test.cc.o.d"
+  "/root/repo/tests/net_test.cc" "tests/CMakeFiles/pub_tests.dir/net_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/net_test.cc.o.d"
+  "/root/repo/tests/node_unit_test.cc" "tests/CMakeFiles/pub_tests.dir/node_unit_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/node_unit_test.cc.o.d"
+  "/root/repo/tests/partition_test.cc" "tests/CMakeFiles/pub_tests.dir/partition_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/partition_test.cc.o.d"
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/pub_tests.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/property_test.cc.o.d"
+  "/root/repo/tests/queueing_test.cc" "tests/CMakeFiles/pub_tests.dir/queueing_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/queueing_test.cc.o.d"
+  "/root/repo/tests/recorder_test.cc" "tests/CMakeFiles/pub_tests.dir/recorder_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/recorder_test.cc.o.d"
+  "/root/repo/tests/recovery_edge_test.cc" "tests/CMakeFiles/pub_tests.dir/recovery_edge_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/recovery_edge_test.cc.o.d"
+  "/root/repo/tests/recovery_integration_test.cc" "tests/CMakeFiles/pub_tests.dir/recovery_integration_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/recovery_integration_test.cc.o.d"
+  "/root/repo/tests/replay_debugger_test.cc" "tests/CMakeFiles/pub_tests.dir/replay_debugger_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/replay_debugger_test.cc.o.d"
+  "/root/repo/tests/selective_publishing_test.cc" "tests/CMakeFiles/pub_tests.dir/selective_publishing_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/selective_publishing_test.cc.o.d"
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/pub_tests.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/sim_test.cc.o.d"
+  "/root/repo/tests/stable_storage_test.cc" "tests/CMakeFiles/pub_tests.dir/stable_storage_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/stable_storage_test.cc.o.d"
+  "/root/repo/tests/transport_test.cc" "tests/CMakeFiles/pub_tests.dir/transport_test.cc.o" "gcc" "tests/CMakeFiles/pub_tests.dir/transport_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pub_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/demos/CMakeFiles/pub_demos.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/pub_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pub_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pub_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/queueing/CMakeFiles/pub_queueing.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
