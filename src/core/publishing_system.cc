@@ -17,6 +17,13 @@ PublishingSystem::PublishingSystem(PublishingSystemConfig config) : config_(std:
   const bool boot_system = config_.cluster.start_system_processes;
   config_.cluster.start_system_processes = false;
 
+  if (config_.adopt_storage != nullptr) {
+    storage_ = std::move(*config_.adopt_storage);
+  }
+  if (config_.storage_backend != nullptr) {
+    storage_.AttachBackend(config_.storage_backend);
+  }
+
   cluster_ = std::make_unique<Cluster>(config_.cluster);
   recorder_ = std::make_unique<Recorder>(&cluster_->sim(), &cluster_->medium(),
                                          &cluster_->names(), &storage_, config_.recorder);

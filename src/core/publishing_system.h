@@ -38,6 +38,14 @@ struct PublishingSystemConfig {
   // off the network and crashed nodes are recovered as units from node
   // checkpoints plus step-stamped extranode replay.
   bool node_unit_mode = false;
+  // Durable mode (src/storage): every effective stable-storage mutation is
+  // journaled through this backend (typically a Wal).  Not owned; must
+  // outlive the system.  nullptr = in-memory only (the default).
+  StorageBackend* storage_backend = nullptr;
+  // Seed the recorder's database from a previously recovered image
+  // (RecoverStableStorage) instead of starting empty — the §4.5 rebuild
+  // path.  Moved from; not owned.
+  StableStorage* adopt_storage = nullptr;
 };
 
 class PublishingSystem {

@@ -21,6 +21,9 @@ SimDuration PublishCpuCost(PublishPath path) {
 Recorder::Recorder(Simulator* sim, Medium* medium, NameService* names, StableStorage* storage,
                    RecorderOptions options)
     : sim_(sim), names_(names), storage_(storage), options_(options) {
+  // Stamp journal appends with virtual time so a durable backend can group
+  // commits over time windows.
+  storage_->set_clock([this] { return static_cast<uint64_t>(sim_->Now()); });
   endpoint_ = std::make_unique<TransportEndpoint>(
       sim_, medium, options_.node, options_.transport,
       [this](const Packet& packet) { OnPacketDelivered(packet); });

@@ -5,11 +5,18 @@
 namespace publishing {
 
 RecorderGroup::RecorderGroup(Cluster* cluster, size_t member_count,
-                             RecoveryManagerOptions recovery_options)
+                             RecoveryManagerOptions recovery_options,
+                             BackendFactory backend_factory)
     : cluster_(cluster) {
   for (size_t i = 0; i < member_count; ++i) {
     auto member = std::make_unique<Member>();
     member->storage = std::make_unique<StableStorage>();
+    if (backend_factory) {
+      member->backend = backend_factory(i);
+      if (member->backend != nullptr) {
+        member->storage->AttachBackend(member->backend.get());
+      }
+    }
     RecorderOptions options;
     options.node = (i == 0) ? Cluster::kRecorderNode : NodeId{1000 + static_cast<uint32_t>(i)};
     member->recorder = std::make_unique<Recorder>(&cluster_->sim(), &cluster_->medium(),

@@ -36,10 +36,17 @@ namespace publishing {
 
 class RecorderGroup : public PromiscuousListener, public ReadOrderFeed {
  public:
+  // Constructs one durable backend per member (index-keyed, so each member
+  // gets its own log directory).  May return nullptr for in-memory members.
+  using BackendFactory = std::function<std::unique_ptr<StorageBackend>(size_t index)>;
+
   // Members get endpoints on node 0 (primary — the address kernels send
   // notices and checkpoints to) and nodes 1000+i (secondaries, which
-  // overhear notices promiscuously instead).
-  RecorderGroup(Cluster* cluster, size_t member_count, RecoveryManagerOptions recovery_options);
+  // overhear notices promiscuously instead).  With a backend factory, each
+  // member journals its database through its own backend (§6.3 durable
+  // replicas: n recorders, n independent logs).
+  RecorderGroup(Cluster* cluster, size_t member_count, RecoveryManagerOptions recovery_options,
+                BackendFactory backend_factory = nullptr);
   ~RecorderGroup() override;
 
   RecorderGroup(const RecorderGroup&) = delete;
@@ -68,6 +75,9 @@ class RecorderGroup : public PromiscuousListener, public ReadOrderFeed {
 
  private:
   struct Member {
+    // Declared before `storage` only for clarity of ownership; the storage
+    // never touches the backend from its destructor.
+    std::unique_ptr<StorageBackend> backend;
     std::unique_ptr<StableStorage> storage;
     std::unique_ptr<Recorder> recorder;
     std::unique_ptr<RecoveryManager> manager;

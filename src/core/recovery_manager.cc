@@ -244,6 +244,10 @@ void RecoveryManager::StartRecovery(const ProcessId& pid, NodeId target_node) {
   }
 
   ++stats_.process_recoveries_started;
+  // §3.3.1: "whether or not the process is recovering" is part of the stable
+  // database entry, so a recorder rebuilt from disk knows which recoveries
+  // its previous incarnation left in flight.
+  recorder_->storage().SetRecovering(pid, true);
   PUB_LOG_INFO("recovery: recovering %s on node %u (round %llu)", ToString(pid).c_str(),
                target_node.value, static_cast<unsigned long long>(rp.round));
   SendFromRecoveryPid(rp.rproc, ProcessId{target_node, NodeKernel::kKernelLocalId},
@@ -364,6 +368,7 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
           it->second.phase == Phase::kAwaitCompleteAck) {
         ProcessId pid = it->second.target;
         recoveries_.erase(it);
+        recorder_->storage().SetRecovering(pid, false);
         ++stats_.process_recoveries_completed;
         PUB_LOG_INFO("recovery: %s recovered", ToString(pid).c_str());
         if (recovery_done_) {

@@ -2,13 +2,67 @@
 
 #include <algorithm>
 
+#include "src/core/storage_journal.h"
+
 namespace publishing {
+
+StableStorage::StableStorage(StableStorage&& other) noexcept
+    : logs_(std::move(other.logs_)),
+      node_logs_(std::move(other.node_logs_)),
+      next_arrival_(other.next_arrival_),
+      restart_number_(other.restart_number_),
+      messages_stored_(other.messages_stored_),
+      peak_bytes_(other.peak_bytes_),
+      backend_(other.backend_),
+      clock_(std::move(other.clock_)) {
+  other.backend_ = nullptr;
+  if (backend_ != nullptr) {
+    // The backend's snapshot source captured `other`; re-point it here.
+    backend_->SetSnapshotSource([this] { return StorageJournal::SnapshotRecords(*this); });
+  }
+}
+
+StableStorage& StableStorage::operator=(StableStorage&& other) noexcept {
+  if (this != &other) {
+    logs_ = std::move(other.logs_);
+    node_logs_ = std::move(other.node_logs_);
+    next_arrival_ = other.next_arrival_;
+    restart_number_ = other.restart_number_;
+    messages_stored_ = other.messages_stored_;
+    peak_bytes_ = other.peak_bytes_;
+    backend_ = other.backend_;
+    clock_ = std::move(other.clock_);
+    other.backend_ = nullptr;
+    if (backend_ != nullptr) {
+      backend_->SetSnapshotSource([this] { return StorageJournal::SnapshotRecords(*this); });
+    }
+  }
+  return *this;
+}
+
+void StableStorage::AttachBackend(StorageBackend* backend) {
+  backend_ = backend;
+  if (backend_ != nullptr) {
+    backend_->SetSnapshotSource([this] { return StorageJournal::SnapshotRecords(*this); });
+  }
+}
+
+void StableStorage::Journal(Bytes record) {
+  if (backend_ != nullptr) {
+    (void)backend_->Append(record, clock_ ? clock_() : 0);
+  }
+}
+
+Status StableStorage::Flush() {
+  return backend_ != nullptr ? backend_->Sync() : Status::Ok();
+}
 
 StableStorage::ProcessLog& StableStorage::Ensure(const ProcessId& pid) { return logs_[pid]; }
 
 void StableStorage::RecordCreation(const ProcessId& pid, const std::string& program,
                                    std::vector<Link> initial_links, NodeId home_node,
                                    bool recoverable) {
+  Journal(StorageJournal::EncodeCreate(pid, program, initial_links, home_node, recoverable));
   ProcessLog& log = Ensure(pid);
   log.info.program = program;
   log.info.initial_links = std::move(initial_links);
@@ -22,6 +76,7 @@ void StableStorage::RecordDestruction(const ProcessId& pid) {
   if (it == logs_.end()) {
     return;
   }
+  Journal(StorageJournal::EncodeDestroy(pid));
   // Keep a tombstone so restart queries do not resurrect it, but free the
   // replay data.
   it->second.info.destroyed = true;
@@ -35,6 +90,7 @@ void StableStorage::RecordDestruction(const ProcessId& pid) {
 void StableStorage::SetHomeNode(const ProcessId& pid, NodeId node) {
   auto it = logs_.find(pid);
   if (it != logs_.end()) {
+    Journal(StorageJournal::EncodeSetHome(pid, node));
     it->second.info.home_node = node;
   }
 }
@@ -47,6 +103,7 @@ void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Byt
   if (!log.ever_logged.insert(id).second) {
     return;  // Duplicate of a frame we already published.
   }
+  Journal(StorageJournal::EncodeAppendMessage(pid, id, packet));
   LogEntry entry;
   entry.id = id;
   entry.arrival = next_arrival_++;
@@ -69,6 +126,7 @@ void StableStorage::RecordRead(const ProcessId& reader, const MessageId& id) {
   }
   for (LogEntry& entry : log.entries) {
     if (entry.id == id) {
+      Journal(StorageJournal::EncodeRecordRead(reader, id));
       entry.read = true;
       entry.read_seq = log.next_read_seq++;
       log.ever_read.insert(id);
@@ -79,7 +137,10 @@ void StableStorage::RecordRead(const ProcessId& reader, const MessageId& id) {
 
 void StableStorage::RecordSent(const ProcessId& sender, uint64_t seq) {
   ProcessLog& log = Ensure(sender);
-  log.info.last_sent_seq = std::max(log.info.last_sent_seq, seq);
+  if (seq > log.info.last_sent_seq) {
+    Journal(StorageJournal::EncodeRecordSent(sender, seq));
+    log.info.last_sent_seq = seq;
+  }
 }
 
 void StableStorage::StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t reads_done) {
@@ -87,6 +148,7 @@ void StableStorage::StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t 
   if (log.info.destroyed) {
     return;
   }
+  Journal(StorageJournal::EncodeStoreCheckpoint(pid, state, reads_done));
   log.checkpoint = std::move(state);
   log.info.has_checkpoint = true;
   log.info.checkpoint_reads = reads_done;
@@ -102,6 +164,11 @@ void StableStorage::StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t 
   }
   log.info.log_entries = log.entries.size();
   RefreshAccounting();
+  if (backend_ != nullptr) {
+    // §3.3.1: the checkpoint must be reliably stored before the log prefix
+    // it subsumes can go; this is also the compaction trigger.
+    backend_->OnCheckpointStored();
+  }
 }
 
 Result<Bytes> StableStorage::LoadCheckpoint(const ProcessId& pid) const {
@@ -110,6 +177,15 @@ Result<Bytes> StableStorage::LoadCheckpoint(const ProcessId& pid) const {
     return Status(StatusCode::kNotFound, "no checkpoint for " + ToString(pid));
   }
   return it->second.checkpoint;
+}
+
+void StableStorage::SetRecovering(const ProcessId& pid, bool recovering) {
+  auto it = logs_.find(pid);
+  if (it == logs_.end() || it->second.info.recovering == recovering) {
+    return;
+  }
+  Journal(StorageJournal::EncodeSetRecovering(pid, recovering));
+  it->second.info.recovering = recovering;
 }
 
 std::vector<LogEntry> StableStorage::ReplayList(const ProcessId& pid) const {
@@ -182,6 +258,7 @@ void StableStorage::AppendNodeMessage(NodeId node, const MessageId& id, Bytes pa
   if (!log.ever_logged.insert(id).second) {
     return;  // Retransmission of an already-published frame.
   }
+  Journal(StorageJournal::EncodeAppendNodeMessage(node, id, packet));
   NodeLogEntry entry;
   entry.id = id;
   entry.arrival = next_arrival_++;
@@ -197,6 +274,7 @@ void StableStorage::StampNodeMessage(NodeId node, const MessageId& id, uint64_t 
   }
   for (NodeLogEntry& entry : it->second.entries) {
     if (entry.id == id && !entry.stamped) {
+      Journal(StorageJournal::EncodeStampNodeMessage(node, id, step));
       entry.step = step;
       entry.stamped = true;
       return;
@@ -205,6 +283,7 @@ void StableStorage::StampNodeMessage(NodeId node, const MessageId& id, uint64_t 
 }
 
 void StableStorage::StoreNodeCheckpoint(NodeId node, Bytes image, uint64_t node_step) {
+  Journal(StorageJournal::EncodeStoreNodeCheckpoint(node, image, node_step));
   NodeLog& log = node_logs_[node];
   log.has_checkpoint = true;
   log.checkpoint = std::move(image);
@@ -215,6 +294,9 @@ void StableStorage::StoreNodeCheckpoint(NodeId node, Bytes image, uint64_t node_
   std::erase_if(log.entries, [node_step](const NodeLogEntry& entry) {
     return entry.stamped && entry.step <= node_step;
   });
+  if (backend_ != nullptr) {
+    backend_->OnCheckpointStored();
+  }
 }
 
 Result<StableStorage::NodeCheckpointInfo> StableStorage::LoadNodeCheckpoint(NodeId node) const {
@@ -243,6 +325,18 @@ std::vector<StableStorage::NodeLogEntry> StableStorage::NodeReplayList(NodeId no
   std::sort(out.begin(), out.end(),
             [](const NodeLogEntry& a, const NodeLogEntry& b) { return a.step < b.step; });
   return out;
+}
+
+uint64_t StableStorage::IncrementRestartNumber() {
+  ++restart_number_;
+  // The restart number stamps state queries (§3.4); a recorder that forgot
+  // it could reuse a number and mis-pair replies, so it goes durable
+  // immediately rather than riding the group-commit window.
+  Journal(StorageJournal::EncodeRestartNumber(restart_number_));
+  if (backend_ != nullptr) {
+    (void)backend_->Sync();
+  }
+  return restart_number_;
 }
 
 size_t StableStorage::TotalBytes() const {

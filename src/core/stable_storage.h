@@ -18,6 +18,7 @@
 #define SRC_CORE_STABLE_STORAGE_H_
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <unordered_set>
@@ -27,6 +28,7 @@
 #include "src/common/serialization.h"
 #include "src/common/status.h"
 #include "src/demos/link.h"
+#include "src/storage/storage_backend.h"
 
 namespace publishing {
 
@@ -45,6 +47,7 @@ struct ProcessLogInfo {
   NodeId home_node;
   bool destroyed = false;
   bool recoverable = true;  // §6.6.1: false = publish nothing for it.
+  bool recovering = false;  // §3.3.1: part of the durable database entry.
   bool has_checkpoint = false;
   uint64_t checkpoint_reads = 0;   // reads_done at the stored checkpoint.
   uint64_t last_sent_seq = 0;      // Highest send sequence published.
@@ -56,6 +59,28 @@ struct ProcessLogInfo {
 class StableStorage {
  public:
   static constexpr size_t kPageBytes = 4096;
+
+  StableStorage() = default;
+  // No copying: a copy would alias the attached backend and double-journal.
+  // Moves re-point the backend's snapshot source at the new object.
+  StableStorage(const StableStorage&) = delete;
+  StableStorage& operator=(const StableStorage&) = delete;
+  StableStorage(StableStorage&& other) noexcept;
+  StableStorage& operator=(StableStorage&& other) noexcept;
+
+  // --- Durable backend (src/storage) ---
+  // Attaches a journaling backend: every *effective* mutation from here on
+  // is appended to it as a serialized record (see StorageJournal), making
+  // the §4.5 claim literal — the database can be rebuilt from disk via
+  // RecoverStableStorage().  nullptr detaches.  The in-memory model (no
+  // backend) remains the default.
+  void AttachBackend(StorageBackend* backend);
+  StorageBackend* backend() const { return backend_; }
+  // Clock stamped onto journal appends; lets the backend group-commit over
+  // virtual-time windows.  The Recorder wires this to its simulator.
+  void set_clock(std::function<uint64_t()> clock) { clock_ = std::move(clock); }
+  // Forces every journaled record durable (no-op without a backend).
+  Status Flush();
 
   // --- Process lifecycle ---
   void RecordCreation(const ProcessId& pid, const std::string& program,
@@ -83,6 +108,11 @@ class StableStorage {
   // be discarded").
   void StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t reads_done);
   Result<Bytes> LoadCheckpoint(const ProcessId& pid) const;
+
+  // §3.3.1's "whether or not the process is recovering", journaled so a
+  // rebuilt recorder knows which recoveries its dead incarnation left
+  // in flight.
+  void SetRecovering(const ProcessId& pid, bool recovering);
 
   // --- Recovery support ---
   // The messages to replay, in order: entries read since the checkpoint in
@@ -123,7 +153,9 @@ class StableStorage {
   std::vector<NodeLogEntry> NodeReplayList(NodeId node) const;
 
   // --- Recorder restart (§3.4) ---
-  uint64_t IncrementRestartNumber() { return ++restart_number_; }
+  // Journaled and synced: the restart number must be durable before the
+  // state-query protocol uses it to stamp queries.
+  uint64_t IncrementRestartNumber();
   uint64_t restart_number() const { return restart_number_; }
 
   // --- Accounting (§5.1 storage results) ---
@@ -153,8 +185,14 @@ class StableStorage {
     std::unordered_set<MessageId> ever_logged;
   };
 
+  // StorageJournal serializes/restores the private image for snapshots and
+  // applies journal records during rebuild.
+  friend class StorageJournal;
+
   ProcessLog& Ensure(const ProcessId& pid);
   void RefreshAccounting();
+  // Appends one record to the attached backend (no-op without one).
+  void Journal(Bytes record);
 
   std::map<ProcessId, ProcessLog> logs_;
   std::map<NodeId, NodeLog> node_logs_;
@@ -162,6 +200,8 @@ class StableStorage {
   uint64_t restart_number_ = 0;
   uint64_t messages_stored_ = 0;
   size_t peak_bytes_ = 0;
+  StorageBackend* backend_ = nullptr;
+  std::function<uint64_t()> clock_;
 };
 
 }  // namespace publishing

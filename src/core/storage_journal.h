@@ -1,0 +1,89 @@
+// The recorder database's journal record format.
+//
+// StableStorage journals every effective mutation through its attached
+// StorageBackend as one of these records; RecoverStableStorage (the §4.5
+// rebuild, src/storage/recovered_db.h) replays them in log order to
+// reconstruct a bit-identical database.  Incremental records mirror the
+// public mutators one-for-one, so replay reproduces arrival indices and
+// read sequence numbers exactly.  Snapshot records (written by compaction)
+// carry the *full* private image instead: restoring through the mutators
+// would renumber read sequences and break later checkpoint subsumption.
+//
+// A snapshot is bracketed by kSnapshotBegin/kSnapshotEnd.  Begin clears the
+// database, so a snapshot supersedes everything before it in the log; an
+// unterminated snapshot (crash mid-compaction) is detected by the missing
+// end marker and ignored by recovery — the pre-compaction segments are only
+// deleted after the snapshot is durable, so the old data is still there.
+
+#ifndef SRC_CORE_STORAGE_JOURNAL_H_
+#define SRC_CORE_STORAGE_JOURNAL_H_
+
+#include <span>
+#include <vector>
+
+#include "src/core/stable_storage.h"
+
+namespace publishing {
+
+enum class JournalOp : uint8_t {
+  kInvalid = 0,
+  // Incremental mutations (mirror the StableStorage mutators).
+  kCreate = 1,
+  kDestroy = 2,
+  kSetHome = 3,
+  kAppendMessage = 4,
+  kRecordRead = 5,
+  kRecordSent = 6,
+  kStoreCheckpoint = 7,
+  kSetRecovering = 8,
+  kAppendNodeMessage = 9,
+  kStampNodeMessage = 10,
+  kStoreNodeCheckpoint = 11,
+  kRestartNumber = 12,
+  // Full-image snapshot written by compaction.
+  kSnapshotBegin = 32,
+  kSnapshotProcess = 33,
+  kSnapshotNode = 34,
+  kSnapshotCounters = 35,
+  kSnapshotEnd = 36,
+};
+
+class StorageJournal {
+ public:
+  // --- Incremental record encoders (used by StableStorage's mutators) ---
+  static Bytes EncodeCreate(const ProcessId& pid, const std::string& program,
+                            const std::vector<Link>& links, NodeId home, bool recoverable);
+  static Bytes EncodeDestroy(const ProcessId& pid);
+  static Bytes EncodeSetHome(const ProcessId& pid, NodeId node);
+  static Bytes EncodeAppendMessage(const ProcessId& pid, const MessageId& id,
+                                   const Bytes& packet);
+  static Bytes EncodeRecordRead(const ProcessId& reader, const MessageId& id);
+  static Bytes EncodeRecordSent(const ProcessId& sender, uint64_t seq);
+  static Bytes EncodeStoreCheckpoint(const ProcessId& pid, const Bytes& state,
+                                     uint64_t reads_done);
+  static Bytes EncodeSetRecovering(const ProcessId& pid, bool recovering);
+  static Bytes EncodeAppendNodeMessage(NodeId node, const MessageId& id, const Bytes& packet);
+  static Bytes EncodeStampNodeMessage(NodeId node, const MessageId& id, uint64_t step);
+  static Bytes EncodeStoreNodeCheckpoint(NodeId node, const Bytes& image, uint64_t step);
+  static Bytes EncodeRestartNumber(uint64_t number);
+
+  // Op of an encoded record (kInvalid for an empty/unknown record).
+  static JournalOp OpOf(std::span<const uint8_t> record);
+
+  // Applies one record to `db`.  `db` must have no backend attached (replay
+  // must not re-journal).  Unknown or undecodable records yield kCorrupt.
+  static Status Apply(StableStorage& db, std::span<const uint8_t> record);
+
+  // The full-state re-journaling used by compaction: kSnapshotBegin, one
+  // kSnapshotProcess per known process (tombstones included), one
+  // kSnapshotNode per node log, kSnapshotCounters, kSnapshotEnd.
+  static std::vector<Bytes> SnapshotRecords(const StableStorage& db);
+
+ private:
+  static Status ApplySnapshotProcess(StableStorage& db, Reader& r);
+  static Status ApplySnapshotNode(StableStorage& db, Reader& r);
+};
+
+}  // namespace publishing
+
+#endif  // SRC_CORE_STORAGE_JOURNAL_H_

@@ -4,21 +4,43 @@
 #define SRC_SIM_STATS_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <limits>
+#include <vector>
 
 #include "src/sim/time.h"
 
 namespace publishing {
 
-// Accumulates scalar samples: count / mean / min / max.
+// Accumulates scalar samples: count / mean / min / max, exact variance
+// (Welford), and approximate percentiles from a bounded reservoir.  The
+// reservoir holds the first kReservoirCap samples exactly; past that it
+// switches to deterministic reservoir sampling (Vitter's algorithm R with a
+// fixed-seed LCG), so percentiles stay unbiased, memory stays bounded, and
+// repeated runs reproduce bit-identically.
 class StatAccumulator {
  public:
+  static constexpr size_t kReservoirCap = 4096;
+
   void Add(double sample) {
     ++count_;
     sum_ += sample;
     min_ = std::min(min_, sample);
     max_ = std::max(max_, sample);
+    const double delta = sample - welford_mean_;
+    welford_mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (sample - welford_mean_);
+    if (reservoir_.size() < kReservoirCap) {
+      reservoir_.push_back(sample);
+    } else {
+      // Replace a random slot with probability cap/count.
+      lcg_ = lcg_ * 6364136223846793005ULL + 1442695040888963407ULL;
+      const uint64_t slot = (lcg_ >> 33) % count_;
+      if (slot < kReservoirCap) {
+        reservoir_[static_cast<size_t>(slot)] = sample;
+      }
+    }
   }
 
   uint64_t count() const { return count_; }
@@ -27,6 +49,27 @@ class StatAccumulator {
   double min() const { return count_ == 0 ? 0.0 : min_; }
   double max() const { return count_ == 0 ? 0.0 : max_; }
 
+  // Population variance / standard deviation of all samples seen (exact,
+  // not reservoir-based).
+  double variance() const { return count_ == 0 ? 0.0 : m2_ / static_cast<double>(count_); }
+  double stddev() const { return std::sqrt(variance()); }
+
+  // The p-th percentile (p in [0, 100]) by nearest-rank over the reservoir.
+  // Exact while count() <= kReservoirCap, an unbiased estimate after.
+  double Percentile(double p) const {
+    if (reservoir_.empty()) {
+      return 0.0;
+    }
+    std::vector<double> sorted = reservoir_;
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(p, 0.0, 100.0);
+    size_t rank = static_cast<size_t>(clamped / 100.0 * static_cast<double>(sorted.size()));
+    rank = std::min(rank, sorted.size() - 1);
+    return sorted[rank];
+  }
+  double p50() const { return Percentile(50.0); }
+  double p99() const { return Percentile(99.0); }
+
   void Reset() { *this = StatAccumulator(); }
 
  private:
@@ -34,6 +77,10 @@ class StatAccumulator {
   double sum_ = 0.0;
   double min_ = std::numeric_limits<double>::infinity();
   double max_ = -std::numeric_limits<double>::infinity();
+  double welford_mean_ = 0.0;
+  double m2_ = 0.0;
+  uint64_t lcg_ = 0x9e3779b97f4a7c15ULL;  // Fixed seed: deterministic runs.
+  std::vector<double> reservoir_;
 };
 
 // Tracks the fraction of virtual time a resource spends busy — the

@@ -1,0 +1,34 @@
+#include "src/storage/compactor.h"
+
+#include "src/storage/log_segment.h"
+
+namespace publishing {
+
+Result<CompactionResult> Compactor::WriteSnapshotSegment(
+    const std::string& path, uint64_t seq, const std::vector<Bytes>& records) const {
+  SegmentWriter writer;
+  Status status = writer.Open(path, seq);
+  if (!status.ok()) {
+    return status;
+  }
+  for (const Bytes& record : records) {
+    status = writer.Append(record);
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  // The snapshot must be durable before any old segment may be deleted.
+  status = writer.Sync();
+  if (!status.ok()) {
+    return status;
+  }
+  CompactionResult result;
+  result.segment_seq = seq;
+  result.segment_path = path;
+  result.bytes_written = writer.bytes();
+  result.records_written = records.size();
+  writer.Close();
+  return result;
+}
+
+}  // namespace publishing

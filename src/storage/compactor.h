@@ -1,0 +1,69 @@
+// Checkpoint-triggered log compaction (§5.1).
+//
+// The paper's storage model discards "messages before the checkpoint"; in a
+// log-structured engine those discards leave dead records behind in old
+// segments.  The compactor rewrites the *live* database image — produced by
+// the attached StableStorage as a record sequence bracketed by snapshot
+// markers — into one fresh segment, fsyncs it, and only then lets the WAL
+// delete the obsolete segments.  A crash at any point leaves either the old
+// segments (snapshot incomplete: its end marker is missing, so recovery
+// ignores it) or the new one (old segments already deletable), never a state
+// that loses acknowledged records.
+
+#ifndef SRC_STORAGE_COMPACTOR_H_
+#define SRC_STORAGE_COMPACTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+
+namespace publishing {
+
+struct CompactorOptions {
+  // Never compact while the log is smaller than this: rewriting a tiny log
+  // costs more fsyncs than it reclaims.
+  size_t min_bytes = 128 * 1024;
+  // Compact when the log has grown past `growth_factor` times its size right
+  // after the previous compaction (or its size at open).
+  double growth_factor = 2.0;
+};
+
+struct CompactionResult {
+  uint64_t segment_seq = 0;   // Sequence of the snapshot segment written.
+  std::string segment_path;
+  size_t bytes_written = 0;   // Size of the snapshot segment.
+  size_t records_written = 0;
+};
+
+class Compactor {
+ public:
+  explicit Compactor(CompactorOptions options) : options_(options) {}
+
+  const CompactorOptions& options() const { return options_; }
+
+  // Policy: should a log currently `total_bytes` large, whose post-compaction
+  // (or at-open) size was `baseline_bytes`, be rewritten now?
+  bool ShouldCompact(size_t total_bytes, size_t baseline_bytes) const {
+    if (total_bytes < options_.min_bytes) {
+      return false;
+    }
+    return static_cast<double>(total_bytes) >=
+           options_.growth_factor * static_cast<double>(baseline_bytes);
+  }
+
+  // Mechanism: writes `records` into a new segment file at `path` with
+  // sequence `seq` and makes it durable before returning.  The caller (the
+  // WAL) deletes the segments it supersedes afterwards.
+  Result<CompactionResult> WriteSnapshotSegment(const std::string& path, uint64_t seq,
+                                                const std::vector<Bytes>& records) const;
+
+ private:
+  CompactorOptions options_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_STORAGE_COMPACTOR_H_

@@ -1,0 +1,78 @@
+#include "src/storage/recovered_db.h"
+
+#include <filesystem>
+
+#include "src/common/logging.h"
+#include "src/core/storage_journal.h"
+#include "src/storage/log_segment.h"
+#include "src/storage/wal.h"
+
+namespace publishing {
+
+Result<StableStorage> RecoverStableStorage(const std::string& dir, RecoveryReport* report) {
+  RecoveryReport local;
+  StableStorage db;
+  std::error_code ec;
+  if (!std::filesystem::exists(dir, ec)) {
+    if (report != nullptr) {
+      *report = local;
+    }
+    return db;  // Nothing on disk: a brand-new recorder.
+  }
+  auto paths = ListSegmentPaths(dir);
+  if (!paths.ok()) {
+    return paths.status();
+  }
+  for (const std::string& path : *paths) {
+    auto scan = ScanSegment(path);
+    if (!scan.ok()) {
+      PUB_LOG_ERROR("recovery: skipping unreadable segment %s: %s", path.c_str(),
+                    scan.status().ToString().c_str());
+      ++local.torn_segments;
+      continue;
+    }
+    ++local.segments_scanned;
+    if (!scan->clean) {
+      ++local.torn_segments;
+      local.dropped_tail_bytes += scan->dropped_bytes;
+    }
+    // A kSnapshotBegin whose kSnapshotEnd never made it to this segment is a
+    // crash mid-compaction: every record from the begin onward is part of
+    // the unterminated snapshot and must be ignored.
+    size_t keep = scan->records.size();
+    bool open_snapshot = false;
+    for (size_t i = 0; i < scan->records.size(); ++i) {
+      const JournalOp op = StorageJournal::OpOf(scan->records[i]);
+      if (op == JournalOp::kSnapshotBegin) {
+        keep = i;
+        open_snapshot = true;
+      } else if (op == JournalOp::kSnapshotEnd) {
+        keep = scan->records.size();
+        open_snapshot = false;
+      }
+    }
+    if (open_snapshot) {
+      ++local.dangling_snapshots;
+      local.records_skipped += scan->records.size() - keep;
+    }
+    for (size_t i = 0; i < keep; ++i) {
+      Status status = StorageJournal::Apply(db, scan->records[i]);
+      if (!status.ok()) {
+        PUB_LOG_ERROR("recovery: skipping record %zu of %s: %s", i, path.c_str(),
+                      status.ToString().c_str());
+        ++local.records_skipped;
+        continue;
+      }
+      ++local.records_applied;
+      if (StorageJournal::OpOf(scan->records[i]) == JournalOp::kSnapshotEnd) {
+        ++local.snapshots_applied;
+      }
+    }
+  }
+  if (report != nullptr) {
+    *report = local;
+  }
+  return db;
+}
+
+}  // namespace publishing

@@ -1,0 +1,43 @@
+// Startup scan: rebuild the recorder database from WAL segments (§4.5,
+// "it is possible to rebuild the data base from the disk").
+//
+// Segments are replayed in sequence order; within a segment, records in
+// append order.  Three kinds of damage are tolerated, never fatal:
+//   * torn tail — a crash mid-append leaves a partial frame at the end of
+//     the then-active segment; only the tail is dropped (log_segment.h),
+//   * corrupt frame — CRC mismatch; the segment is cut at the bad frame,
+//   * dangling snapshot — a crash mid-compaction leaves kSnapshotBegin with
+//     no kSnapshotEnd in the same segment; the whole unterminated snapshot
+//     is discarded (the pre-compaction segments it would have replaced are
+//     only deleted after the snapshot is durable, so they are still here).
+
+#ifndef SRC_STORAGE_RECOVERED_DB_H_
+#define SRC_STORAGE_RECOVERED_DB_H_
+
+#include <string>
+
+#include "src/core/stable_storage.h"
+
+namespace publishing {
+
+struct RecoveryReport {
+  uint64_t segments_scanned = 0;
+  uint64_t records_applied = 0;
+  uint64_t records_skipped = 0;     // Undecodable or inside a dangling snapshot.
+  uint64_t torn_segments = 0;       // Segments cut short (torn tail or bad CRC).
+  uint64_t dropped_tail_bytes = 0;
+  uint64_t dangling_snapshots = 0;  // Crash-mid-compaction artifacts ignored.
+  uint64_t snapshots_applied = 0;
+};
+
+// Scans every segment in `dir` and replays the journal into a fresh
+// StableStorage.  The result has no backend attached; the caller decides
+// whether to re-attach one (typically a Wal opened on the same directory,
+// which appends after the highest surviving sequence).  An empty or missing
+// directory yields an empty database, not an error.
+Result<StableStorage> RecoverStableStorage(const std::string& dir,
+                                           RecoveryReport* report = nullptr);
+
+}  // namespace publishing
+
+#endif  // SRC_STORAGE_RECOVERED_DB_H_

@@ -1,0 +1,54 @@
+// The seam between the recorder's logical database (StableStorage, src/core)
+// and its durable representation (the log-structured engine in src/storage).
+//
+// StableStorage journals every effective mutation through this interface as
+// an opaque, already-serialized record; the backend decides how (and when)
+// the record becomes durable.  The interface is bytes-only so that src/core
+// needs no link-time dependency on the storage engine: the default remains
+// the pure in-memory model (no backend attached), which the queueing
+// benchmarks keep using, while a Recorder given a Wal backend survives real
+// process restarts (§4.5).
+
+#ifndef SRC_STORAGE_STORAGE_BACKEND_H_
+#define SRC_STORAGE_STORAGE_BACKEND_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "src/common/serialization.h"
+#include "src/common/status.h"
+
+namespace publishing {
+
+class StorageBackend {
+ public:
+  virtual ~StorageBackend() = default;
+
+  // Journals one mutation record.  `now` is the caller's clock reading in
+  // virtual-time nanoseconds (0 when no clock is attached); backends may use
+  // it to coalesce fsyncs over a time window (group commit).
+  virtual Status Append(std::span<const uint8_t> record, uint64_t now) = 0;
+
+  // Forces every record appended so far to be durable.
+  virtual Status Sync() = 0;
+
+  // A checkpoint record was just journaled.  §3.3.1 requires the checkpoint
+  // "reliably stored" before the messages it subsumes are discarded, so this
+  // is both a durability barrier and the compaction trigger of §5.1 ("older
+  // checkpoints and messages can be discarded").
+  virtual void OnCheckpointStored() {}
+
+  // Installs the producer of a full-state re-journaling: the complete record
+  // sequence (snapshot markers included) that rebuilds the attached
+  // database.  Compacting backends rewrite the log from it; the in-memory
+  // default ignores it.
+  virtual void SetSnapshotSource(std::function<std::vector<Bytes>()> source) {
+    (void)source;
+  }
+};
+
+}  // namespace publishing
+
+#endif  // SRC_STORAGE_STORAGE_BACKEND_H_

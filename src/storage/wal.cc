@@ -1,0 +1,252 @@
+#include "src/storage/wal.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <filesystem>
+#include <system_error>
+
+#include "src/common/logging.h"
+
+namespace publishing {
+
+namespace fs = std::filesystem;
+
+std::string SegmentPath(const std::string& dir, uint64_t seq) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%010" PRIu64 ".seg", seq);
+  return (fs::path(dir) / name).string();
+}
+
+Result<std::vector<std::string>> ListSegmentPaths(const std::string& dir) {
+  std::error_code ec;
+  std::vector<std::pair<uint64_t, std::string>> found;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t seq = 0;
+    if (std::sscanf(name.c_str(), "wal-%" SCNu64 ".seg", &seq) == 1) {
+      found.emplace_back(seq, entry.path().string());
+    }
+  }
+  if (ec) {
+    return Status(StatusCode::kInternal, "cannot list " + dir + ": " + ec.message());
+  }
+  std::sort(found.begin(), found.end());
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [seq, path] : found) {
+    paths.push_back(std::move(path));
+  }
+  return paths;
+}
+
+Wal::Wal(WalOptions options) : options_(std::move(options)), compactor_(options_.compactor) {}
+
+Wal::~Wal() {
+  // Best effort: stage-to-disk what we have.  Unsynced records may be lost
+  // on a hard crash — that is group commit's contract, not a bug.
+  if (active_.is_open()) {
+    (void)Sync();
+  }
+}
+
+Result<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
+  std::unique_ptr<Wal> wal(new Wal(std::move(options)));
+  Status status = wal->OpenDirectory();
+  if (!status.ok()) {
+    return status;
+  }
+  return wal;
+}
+
+Status Wal::OpenDirectory() {
+  std::error_code ec;
+  fs::create_directories(options_.dir, ec);
+  if (ec) {
+    return Status(StatusCode::kInternal,
+                  "cannot create " + options_.dir + ": " + ec.message());
+  }
+  auto existing = ListSegmentPaths(options_.dir);
+  if (!existing.ok()) {
+    return existing.status();
+  }
+  for (const std::string& path : *existing) {
+    // The header is cheap to read and carries the authoritative sequence.
+    auto scan = ScanSegment(path);
+    if (!scan.ok()) {
+      PUB_LOG_ERROR("wal: ignoring unreadable segment %s", path.c_str());
+      continue;
+    }
+    SealedSegment sealed;
+    sealed.seq = scan->seq;
+    sealed.path = path;
+    sealed.bytes = scan->valid_bytes + scan->dropped_bytes;
+    next_seq_ = std::max(next_seq_, scan->seq + 1);
+    sealed_.push_back(std::move(sealed));
+  }
+  std::sort(sealed_.begin(), sealed_.end(),
+            [](const SealedSegment& a, const SealedSegment& b) { return a.seq < b.seq; });
+  Status status = active_.Open(SegmentPath(options_.dir, next_seq_), next_seq_);
+  if (!status.ok()) {
+    return status;
+  }
+  ++next_seq_;
+  ++stats_.segments_created;
+  baseline_bytes_ = std::max(TotalBytes(), options_.compactor.min_bytes);
+  return Status::Ok();
+}
+
+size_t Wal::TotalBytes() const {
+  size_t total = active_.is_open() ? active_.bytes() : 0;
+  for (const SealedSegment& sealed : sealed_) {
+    total += sealed.bytes;
+  }
+  return total;
+}
+
+std::vector<std::string> Wal::SegmentPaths() const {
+  std::vector<std::string> paths;
+  paths.reserve(sealed_.size() + 1);
+  for (const SealedSegment& sealed : sealed_) {
+    paths.push_back(sealed.path);
+  }
+  if (active_.is_open()) {
+    paths.push_back(active_.path());
+  }
+  return paths;
+}
+
+Status Wal::RollSegment() {
+  Status status = Sync();
+  if (!status.ok()) {
+    return status;
+  }
+  SealedSegment sealed;
+  sealed.seq = active_.seq();
+  sealed.path = active_.path();
+  sealed.bytes = active_.bytes();
+  active_.Close();
+  sealed_.push_back(std::move(sealed));
+  status = active_.Open(SegmentPath(options_.dir, next_seq_), next_seq_);
+  if (!status.ok()) {
+    return status;
+  }
+  ++next_seq_;
+  ++stats_.segments_created;
+  return Status::Ok();
+}
+
+Status Wal::Append(std::span<const uint8_t> record, uint64_t now) {
+  if (active_.bytes() + kRecordFrameOverhead + record.size() > options_.segment_bytes &&
+      active_.bytes() > kSegmentHeaderBytes) {
+    Status status = RollSegment();
+    if (!status.ok()) {
+      return status;
+    }
+  }
+  Status status = active_.Append(record);
+  if (!status.ok()) {
+    return status;
+  }
+  ++stats_.records_appended;
+  stats_.bytes_appended += record.size();
+  ++pending_records_;
+  const bool count_due = pending_records_ >= options_.group_commit_records;
+  const bool time_due = options_.group_commit_interval != 0 && now != 0 &&
+                        now - last_sync_now_ >= options_.group_commit_interval;
+  if (count_due || time_due) {
+    status = Sync();
+    if (!status.ok()) {
+      return status;
+    }
+    last_sync_now_ = now;
+  }
+  return Status::Ok();
+}
+
+Status Wal::Sync() {
+  if (pending_records_ == 0) {
+    return Status::Ok();
+  }
+  Status status = active_.Sync();
+  if (!status.ok()) {
+    return status;
+  }
+  pending_records_ = 0;
+  ++stats_.syncs;
+  return Status::Ok();
+}
+
+void Wal::OnCheckpointStored() {
+  Status status = Sync();
+  if (!status.ok()) {
+    PUB_LOG_ERROR("wal: checkpoint sync failed: %s", status.ToString().c_str());
+    return;
+  }
+  if (snapshot_source_ &&
+      compactor_.ShouldCompact(TotalBytes(), baseline_bytes_)) {
+    (void)CompactNow();
+  }
+}
+
+bool Wal::CompactNow() {
+  if (!snapshot_source_) {
+    return false;
+  }
+  const size_t before = TotalBytes();
+  // Seal the active segment: the snapshot must strictly supersede every
+  // record written so far, and recovery orders segments by sequence, so the
+  // snapshot takes a sequence past the active one and new appends continue
+  // in a segment past the snapshot.
+  Status status = Sync();
+  if (!status.ok()) {
+    PUB_LOG_ERROR("wal: compaction sync failed: %s", status.ToString().c_str());
+    return false;
+  }
+  SealedSegment old_active;
+  old_active.seq = active_.seq();
+  old_active.path = active_.path();
+  old_active.bytes = active_.bytes();
+  active_.Close();
+  sealed_.push_back(std::move(old_active));
+
+  std::vector<Bytes> records = snapshot_source_();
+  const uint64_t snapshot_seq = next_seq_++;
+  auto result = compactor_.WriteSnapshotSegment(SegmentPath(options_.dir, snapshot_seq),
+                                                snapshot_seq, records);
+  if (!result.ok()) {
+    // Fall through to reopen an active segment; the log is intact, only
+    // unrewritten.
+    PUB_LOG_ERROR("wal: snapshot write failed: %s", result.status().ToString().c_str());
+  } else {
+    // The snapshot is durable: everything before it is dead.
+    std::error_code ec;
+    for (const SealedSegment& sealed : sealed_) {
+      fs::remove(sealed.path, ec);
+      ++stats_.compaction_segments_deleted;
+    }
+    sealed_.clear();
+    SealedSegment snapshot;
+    snapshot.seq = result->segment_seq;
+    snapshot.path = result->segment_path;
+    snapshot.bytes = result->bytes_written;
+    sealed_.push_back(std::move(snapshot));
+    ++stats_.compactions;
+  }
+
+  status = active_.Open(SegmentPath(options_.dir, next_seq_), next_seq_);
+  if (!status.ok()) {
+    PUB_LOG_ERROR("wal: cannot reopen active segment: %s", status.ToString().c_str());
+    return false;
+  }
+  ++next_seq_;
+  ++stats_.segments_created;
+  if (!result.ok()) {
+    return false;
+  }
+  const size_t after = TotalBytes();
+  stats_.compaction_bytes_reclaimed += before > after ? before - after : 0;
+  baseline_bytes_ = std::max(after, options_.compactor.min_bytes);
+  return true;
+}
+
+}  // namespace publishing

@@ -1,0 +1,126 @@
+// Segmented write-ahead log with group commit: the durable StorageBackend.
+//
+// Layout: a directory of segment files "wal-<seq>.seg" (format in
+// log_segment.h).  Records append to the active (highest-seq) segment; when
+// it exceeds `segment_bytes` the WAL rolls to a new one.  Opening an
+// existing directory never appends to old segments — it starts a fresh one
+// after the highest sequence found, so a torn tail from a previous crash
+// stays confined to a dead segment where recovery can drop it.
+//
+// Group commit (§5.2.2's motivation — publish cost must not be per-message):
+// Append() stages the record and only fsyncs once `group_commit_records`
+// records are pending or `group_commit_interval` virtual-time units have
+// passed since the last sync; records staged but not yet synced are the
+// acknowledged-durability window the storage bench measures.  Sync() and
+// OnCheckpointStored() force the barrier (§3.3.1: the checkpoint must be
+// "reliably stored" before the log prefix it subsumes is discarded).
+//
+// Compaction: checkpoint-triggered (see compactor.h).  The live image is
+// re-journaled into one snapshot segment; old segments are deleted only
+// after it is durable.
+
+#ifndef SRC_STORAGE_WAL_H_
+#define SRC_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/storage/compactor.h"
+#include "src/storage/log_segment.h"
+#include "src/storage/storage_backend.h"
+
+namespace publishing {
+
+struct WalOptions {
+  std::string dir;                    // Created if missing.
+  size_t segment_bytes = 1 << 20;     // Roll the active segment past this.
+  // Group commit: fsync after this many staged records...
+  size_t group_commit_records = 32;
+  // ...or when an Append arrives this much virtual time after the last sync
+  // (0 disables the time trigger).  There is no timer: the window closes on
+  // the next append, which is the correct model for a recorder whose only
+  // work arrives as messages.
+  uint64_t group_commit_interval = 0;
+  CompactorOptions compactor;
+};
+
+struct WalStats {
+  uint64_t records_appended = 0;
+  uint64_t bytes_appended = 0;      // Record payload bytes.
+  uint64_t syncs = 0;               // fsync calls on the active segment.
+  uint64_t segments_created = 0;
+  uint64_t compactions = 0;
+  uint64_t compaction_bytes_reclaimed = 0;
+  uint64_t compaction_segments_deleted = 0;
+};
+
+class Wal : public StorageBackend {
+ public:
+  // Opens (creating if needed) the log directory.  Existing segments are
+  // preserved and counted toward the compaction baseline; appends go to a
+  // new segment after the highest existing sequence.
+  static Result<std::unique_ptr<Wal>> Open(WalOptions options);
+  ~Wal() override;
+
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+
+  // StorageBackend.
+  Status Append(std::span<const uint8_t> record, uint64_t now) override;
+  Status Sync() override;
+  void OnCheckpointStored() override;
+  void SetSnapshotSource(std::function<std::vector<Bytes>()> source) override {
+    snapshot_source_ = std::move(source);
+  }
+
+  // Total on-disk bytes across all segments (staged bytes included).
+  size_t TotalBytes() const;
+  size_t SegmentCount() const { return sealed_.size() + 1; }
+  uint64_t PendingRecords() const { return pending_records_; }
+  const WalStats& stats() const { return stats_; }
+  const std::string& dir() const { return options_.dir; }
+
+  // Forces a compaction attempt regardless of the growth policy (still a
+  // no-op without a snapshot source).  Returns true if a rewrite happened.
+  bool CompactNow();
+
+  // Segment file names, sorted by sequence, active segment last.
+  std::vector<std::string> SegmentPaths() const;
+
+ private:
+  explicit Wal(WalOptions options);
+
+  struct SealedSegment {
+    uint64_t seq = 0;
+    std::string path;
+    size_t bytes = 0;
+  };
+
+  Status OpenDirectory();
+  Status RollSegment();
+  void MaybeCompact();
+
+  WalOptions options_;
+  Compactor compactor_;
+  std::vector<SealedSegment> sealed_;
+  SegmentWriter active_;
+  uint64_t next_seq_ = 1;
+  uint64_t pending_records_ = 0;
+  uint64_t last_sync_now_ = 0;
+  size_t baseline_bytes_ = 0;  // Size after open / last compaction.
+  std::function<std::vector<Bytes>()> snapshot_source_;
+  WalStats stats_;
+};
+
+// Path of segment `seq` inside `dir` ("<dir>/wal-<seq, zero padded>.seg").
+std::string SegmentPath(const std::string& dir, uint64_t seq);
+
+// Lists segment files in `dir`, sorted by sequence number.
+Result<std::vector<std::string>> ListSegmentPaths(const std::string& dir);
+
+}  // namespace publishing
+
+#endif  // SRC_STORAGE_WAL_H_

@@ -5,9 +5,11 @@
 #include <gtest/gtest.h>
 
 #include "src/common/rng.h"
+#include "src/core/storage_journal.h"
 #include "src/demos/node_image.h"
 #include "src/demos/process_image.h"
 #include "src/demos/protocol.h"
+#include "src/storage/log_segment.h"
 #include "src/transport/packet.h"
 
 namespace publishing {
@@ -104,6 +106,107 @@ TEST(FuzzDecode, BitFlippedNodeImageHandled) {
     if (decoded.ok()) {
       EXPECT_LE(decoded->processes.size(), 1000u);
     }
+  }
+}
+
+
+// --- Storage-engine record framing (src/storage/log_segment.h) ---
+
+// Arbitrary garbage through the frame decoder: any FrameParse outcome is
+// fine, crashing or out-of-bounds reads are not.
+TEST(FuzzDecode, SegmentFrameGarbage) {
+  Rng rng(21);
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = RandomBytes(rng, 512);
+    FrameDecodeResult frame = DecodeRecordFrame(garbage, 0);
+    if (frame.parse == FrameParse::kOk) {
+      EXPECT_LE(frame.next_offset, garbage.size());
+    }
+  }
+}
+
+// Random single-byte flips over a valid frame: the decoder must never
+// accept an altered payload as valid.  Either the frame is rejected
+// (kTorn/kCorrupt) or — when the flip is confined to bytes past the frame —
+// the payload decodes byte-identical.
+TEST(FuzzDecode, SegmentFrameBitFlipsNeverMisaccept) {
+  Rng rng(22);
+  for (int i = 0; i < 1000; ++i) {
+    Bytes payload = RandomBytes(rng, 128);
+    Bytes frame_bytes;
+    AppendRecordFrame(frame_bytes, payload);
+    Bytes mutated = frame_bytes;
+    const size_t pos = rng.NextBelow(mutated.size());
+    mutated[pos] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    FrameDecodeResult frame = DecodeRecordFrame(mutated, 0);
+    if (frame.parse == FrameParse::kOk) {
+      EXPECT_EQ(Bytes(frame.payload.begin(), frame.payload.end()), payload)
+          << "flip at " << pos << " was accepted with altered content";
+    }
+  }
+}
+
+// Random truncations of a multi-record buffer must yield a valid prefix of
+// the original records and then a kTorn/kEnd tail — never an invented or
+// reordered record.
+TEST(FuzzDecode, SegmentFrameTruncationYieldsPrefix) {
+  Rng rng(23);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<Bytes> payloads;
+    Bytes buffer;
+    const size_t n = 1 + rng.NextBelow(6);
+    for (size_t j = 0; j < n; ++j) {
+      payloads.push_back(RandomBytes(rng, 64));
+      AppendRecordFrame(buffer, payloads.back());
+    }
+    Bytes cut(buffer.begin(),
+              buffer.begin() + static_cast<ptrdiff_t>(rng.NextBelow(buffer.size() + 1)));
+    size_t offset = 0;
+    size_t index = 0;
+    for (;;) {
+      FrameDecodeResult frame = DecodeRecordFrame(cut, offset);
+      if (frame.parse != FrameParse::kOk) {
+        EXPECT_NE(frame.parse, FrameParse::kCorrupt) << "truncation is torn, not corrupt";
+        break;
+      }
+      ASSERT_LT(index, payloads.size());
+      EXPECT_EQ(Bytes(frame.payload.begin(), frame.payload.end()), payloads[index]);
+      ++index;
+      offset = frame.next_offset;
+    }
+  }
+}
+
+// Journal records through StorageJournal::Apply: garbage must come back as
+// a status, never a crash, and must leave no half-applied wreckage that a
+// later valid record trips over.
+TEST(FuzzDecode, JournalRecordGarbage) {
+  Rng rng(24);
+  StableStorage db;
+  for (int i = 0; i < 2000; ++i) {
+    Bytes garbage = RandomBytes(rng, 256);
+    (void)StorageJournal::Apply(db, garbage);
+  }
+  // The database still works after the bombardment.
+  ProcessId pid{NodeId{1}, 900};
+  Bytes create = StorageJournal::EncodeCreate(pid, "prog", {}, NodeId{1}, true);
+  EXPECT_TRUE(StorageJournal::Apply(db, create).ok());
+  EXPECT_TRUE(db.Knows(pid));
+}
+
+// Bit flips over valid journal records: Apply either rejects or applies a
+// record that decodes cleanly; unknown ops are always rejected.
+TEST(FuzzDecode, JournalRecordBitFlips) {
+  Rng rng(25);
+  ProcessId pid{NodeId{2}, 901};
+  const Bytes original =
+      StorageJournal::EncodeAppendMessage(pid, MessageId{pid, 5}, Bytes(40, 0x3c));
+  for (int i = 0; i < 1000; ++i) {
+    Bytes mutated = original;
+    mutated[rng.NextBelow(mutated.size())] ^= static_cast<uint8_t>(1 + rng.NextBelow(255));
+    StableStorage db;
+    db.RecordCreation(pid, "prog", {}, NodeId{2});
+    (void)StorageJournal::Apply(db, mutated);  // Any status; no crash.
   }
 }
 
