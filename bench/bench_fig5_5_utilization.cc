@@ -23,7 +23,7 @@ QueueingConfig MakeConfig(const OperatingPoint& op, size_t nodes, size_t disks) 
   return config;
 }
 
-void PrintUtilizationSeries() {
+void PrintUtilizationSeries(BenchJson& json) {
   for (const OperatingPoint& op : StandardOperatingPoints()) {
     PrintHeader("Figure 5.5 @ operating point '" + op.name + "'");
     std::printf("  %5s | %8s %8s | %28s\n", "nodes", "network", "CPU", "disk (1 / 2 / 3 disks)");
@@ -41,11 +41,15 @@ void PrintUtilizationSeries() {
       std::printf("  %5zu | %7.1f%% %7.1f%% | %8.1f%% %8.1f%% %8.1f%%\n", nodes,
                   100 * base.network_utilization, 100 * base.cpu_utilization,
                   100 * disk_util[0], 100 * disk_util[1], 100 * disk_util[2]);
+      const std::string prefix = op.name + ".nodes" + std::to_string(nodes) + ".";
+      json.Set(prefix + "network_utilization", base.network_utilization);
+      json.Set(prefix + "cpu_utilization", base.cpu_utilization);
+      json.Set(prefix + "disk_utilization_1disk", disk_util[0]);
     }
   }
 }
 
-void PrintSaturationFindings() {
+void PrintSaturationFindings(BenchJson& json) {
   PrintHeader("§5.1 saturation findings");
 
   // Finding 1: at the max long-message rate, one-write-per-message
@@ -80,6 +84,12 @@ void PrintSaturationFindings() {
               static_cast<double>(mean.peak_storage_bytes) / (1024.0 * 1024.0));
   std::printf("    mean checkpoint interval   : %.1f s    (paper: 1 s ... 2 min)\n\n",
               mean.mean_checkpoint_interval_s);
+  json.Set("saturation.disk_unbuffered", unbuffered.disk);
+  json.Set("saturation.disk_buffered", buffered.disk);
+  json.Set("peak_recorder_buffer_bytes",
+           static_cast<double>(mean.peak_recorder_buffer_bytes));
+  json.Set("peak_storage_bytes", static_cast<double>(mean.peak_storage_bytes));
+  json.Set("mean_checkpoint_interval_s", mean.mean_checkpoint_interval_s);
 }
 
 void BM_QueueingSimulation5Nodes(benchmark::State& state) {
@@ -95,8 +105,10 @@ BENCHMARK(BM_QueueingSimulation5Nodes)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintUtilizationSeries();
-  publishing::PrintSaturationFindings();
+  publishing::BenchJson json("fig5_5_utilization");
+  publishing::PrintUtilizationSeries(json);
+  publishing::PrintSaturationFindings(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

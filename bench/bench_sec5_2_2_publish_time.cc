@@ -10,6 +10,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <iterator>
+
 #include "bench/bench_util.h"
 #include "src/core/publishing_system.h"
 #include "tests/test_programs.h"
@@ -38,7 +40,7 @@ double MeasurePublishCpuMs(PublishPath path) {
   return ToMillis(stats.publish_cpu) / static_cast<double>(stats.messages_published);
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("§5.2.2: Publishing time for messages (recorder CPU per message)");
   std::printf("  %-34s %14s %16s\n", "interception path", "measured (ms)", "paper (ms)");
   PrintRule();
@@ -52,9 +54,13 @@ void PrintTables() {
       {PublishPath::kInlined, "inlined routines", 12.0},
       {PublishPath::kMediaLayer, "media-layer interception (goal)", 0.8},
   };
-  for (const Row& row : rows) {
-    std::printf("  %-34s %14.2f %16.1f\n", row.name, MeasurePublishCpuMs(row.path),
-                row.paper_ms);
+  const char* keys[] = {"publish_ms.full_protocol", "publish_ms.inlined",
+                        "publish_ms.media_layer"};
+  for (size_t i = 0; i < std::size(rows); ++i) {
+    const double measured = MeasurePublishCpuMs(rows[i].path);
+    std::printf("  %-34s %14.2f %16.1f\n", rows[i].name, measured, rows[i].paper_ms);
+    json.Set(keys[i], measured);
+    json.Set(std::string(keys[i]) + ".paper", rows[i].paper_ms);
   }
   PrintRule();
   // What each path means for recorder viability at the queueing model's
@@ -75,7 +81,9 @@ BENCHMARK(BM_PublishMediaLayer)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("sec5_2_2_publish_time");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

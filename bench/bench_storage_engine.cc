@@ -87,7 +87,7 @@ AppendRun MeasureAppends(size_t batch, uint64_t records) {
   return run;
 }
 
-void PrintAppendTable() {
+void PrintAppendTable(BenchJson& json) {
   PrintHeader("Storage engine: append throughput vs group-commit batch");
   std::printf("  %-10s %14s %10s %8s %10s %10s\n", "batch", "records/s", "MB/s", "fsyncs",
               "p50 (us)", "p99 (us)");
@@ -98,6 +98,10 @@ void PrintAppendTable() {
     std::printf("  %-10zu %14.0f %10.1f %8llu %10.1f %10.1f\n", batch, run.records_per_sec,
                 run.mb_per_sec, static_cast<unsigned long long>(run.syncs), run.p50_us,
                 run.p99_us);
+    const std::string prefix = "append.batch" + std::to_string(batch) + ".";
+    json.Set(prefix + "records_per_sec", run.records_per_sec);
+    json.Set(prefix + "mb_per_sec", run.mb_per_sec);
+    json.Set(prefix + "p99_us", run.p99_us);
   }
   PrintRule();
   std::printf("  batch 1 = no group commit (one fsync per record); larger batches\n");
@@ -107,7 +111,7 @@ void PrintAppendTable() {
 // Fills a log with `messages` journaled appends through a real StableStorage
 // (so the rebuild replays genuine records), optionally compacting at the
 // end, then times RecoverStableStorage.
-void PrintRebuildTable() {
+void PrintRebuildTable(BenchJson& json) {
   PrintHeader("Storage engine: rebuild time vs log size");
   std::printf("  %-10s %12s %10s %12s %12s\n", "messages", "log bytes", "compact", "records",
               "rebuild ms");
@@ -150,11 +154,17 @@ void PrintRebuildTable() {
       for (const auto& entry : fs::directory_iterator(dir)) {
         log_bytes += fs::file_size(entry.path());
       }
+      const double rebuild_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
       std::printf("  %-10llu %12zu %10s %12llu %12.2f\n",
                   static_cast<unsigned long long>(messages), log_bytes,
                   compacted ? "yes" : "no",
                   static_cast<unsigned long long>(report.records_applied),
-                  std::chrono::duration<double, std::milli>(t1 - t0).count());
+                  rebuild_ms);
+      const std::string prefix = "rebuild.msgs" + std::to_string(messages) +
+                                 (compacted ? ".compacted." : ".raw.");
+      json.Set(prefix + "log_bytes", static_cast<double>(log_bytes));
+      json.Set(prefix + "rebuild_ms", rebuild_ms);
       fs::remove_all(dir);
     }
   }
@@ -219,8 +229,10 @@ BENCHMARK(BM_Rebuild)->Arg(1000)->Arg(10000);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintAppendTable();
-  publishing::PrintRebuildTable();
+  publishing::BenchJson json("storage_engine");
+  publishing::PrintAppendTable(json);
+  publishing::PrintRebuildTable(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -1,11 +1,15 @@
 // Shared table-printing helpers for the reproduction benches.  Each bench
 // binary prints the paper-style table(s) it regenerates, then runs its
-// google-benchmark timing section.
+// google-benchmark timing section.  BenchJson additionally persists headline
+// numbers as BENCH_<name>.json in the working directory, so CI and plotting
+// scripts can diff runs without scraping the tables.
 
 #ifndef BENCH_BENCH_UTIL_H_
 #define BENCH_BENCH_UTIL_H_
 
+#include <cmath>
 #include <cstdio>
+#include <map>
 #include <string>
 
 namespace publishing {
@@ -19,6 +23,46 @@ inline void PrintHeader(const std::string& title) {
 inline void PrintRule() {
   std::printf("----------------------------------------------------------------\n");
 }
+
+// Machine-readable bench output: collect named scalar results, then write
+// them as a flat JSON object to BENCH_<name>.json.  Keys serialize in sorted
+// (map) order, so identical results produce identical files.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void Set(const std::string& key, double value) { values_[key] = value; }
+
+  // Writes BENCH_<name>.json into the current directory.  Returns false (and
+  // complains on stderr) if the file cannot be written.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{\n  \"bench\": \"%s\"", name_.c_str());
+    for (const auto& [key, value] : values_) {
+      if (std::isnan(value) || std::isinf(value)) {
+        std::fprintf(file, ",\n  \"%s\": 0", key.c_str());
+      } else if (value == static_cast<double>(static_cast<long long>(value))) {
+        std::fprintf(file, ",\n  \"%s\": %lld", key.c_str(),
+                     static_cast<long long>(value));
+      } else {
+        std::fprintf(file, ",\n  \"%s\": %.17g", key.c_str(), value);
+      }
+    }
+    std::fprintf(file, "\n}\n");
+    std::fclose(file);
+    std::printf("wrote %s (%zu values)\n", path.c_str(), values_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::map<std::string, double> values_;
+};
 
 }  // namespace publishing
 

@@ -6,6 +6,8 @@ namespace publishing {
 namespace {
 
 LogLevel g_level = LogLevel::kWarning;
+std::function<int64_t()> g_time_source;
+uint64_t g_time_source_token = 0;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -31,9 +33,24 @@ void SetLogLevel(LogLevel level) { g_level = level; }
 
 LogLevel GetLogLevel() { return g_level; }
 
+uint64_t SetLogTimeSource(std::function<int64_t()> source) {
+  g_time_source = std::move(source);
+  return ++g_time_source_token;
+}
+
+void ClearLogTimeSource(uint64_t token) {
+  if (token == g_time_source_token) {
+    g_time_source = nullptr;
+  }
+}
+
 void Logf(LogLevel level, const char* format, ...) {
   if (level < g_level) {
     return;
+  }
+  if (g_time_source) {
+    std::fprintf(stderr, "[t=%.3fms] ",
+                 static_cast<double>(g_time_source()) / 1e6);
   }
   std::fprintf(stderr, "[%s] ", LevelName(level));
   va_list args;

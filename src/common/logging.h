@@ -5,6 +5,8 @@
 #define SRC_COMMON_LOGGING_H_
 
 #include <cstdarg>
+#include <cstdint>
+#include <functional>
 
 namespace publishing {
 
@@ -19,6 +21,17 @@ enum class LogLevel {
 
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+// Installs the virtual-time source used to stamp log lines: a callable
+// returning the current virtual time in nanoseconds.  While set, every line
+// is prefixed "[t=<ms>ms]" so crash/recovery narrations carry the simulated
+// clock.  Pass nullptr to clear.  Returns a registration token; the token
+// lets the owner that registered the source clear it without clobbering a
+// source someone else installed later (see ClearLogTimeSource).
+uint64_t SetLogTimeSource(std::function<int64_t()> source);
+
+// Clears the time source iff `token` is the registration currently active.
+void ClearLogTimeSource(uint64_t token);
 
 // printf-style logging; drops the record if `level` is below the global one.
 void Logf(LogLevel level, const char* format, ...) __attribute__((format(printf, 2, 3)));

@@ -1,5 +1,7 @@
 #include "src/core/publishing_system.h"
 
+#include "src/common/logging.h"
+
 namespace publishing {
 
 PublishingSystem::PublishingSystem(PublishingSystemConfig config) : config_(std::move(config)) {
@@ -38,9 +40,53 @@ PublishingSystem::PublishingSystem(PublishingSystemConfig config) : config_(std:
   if (boot_system) {
     cluster_->BootSystemProcesses();
   }
+  // Stamp log lines with this system's virtual clock.  The token guard means
+  // a second system constructed later takes over, and our destructor only
+  // clears the source if we are still the active registration.
+  log_time_token_ = SetLogTimeSource([this] { return cluster_->sim().Now(); });
 }
 
-PublishingSystem::~PublishingSystem() = default;
+PublishingSystem::~PublishingSystem() {
+  // Detach instrumentation before members tear down: the caller may destroy
+  // the registry/tracer in any order relative to this system, and teardown
+  // itself (cancelling watchdog timers, for one) must not touch dead sinks.
+  if (obs_.enabled()) {
+    EnableObservability(Observability{});
+  }
+  ClearLogTimeSource(log_time_token_);
+}
+
+void PublishingSystem::EnableObservability(const Observability& obs) {
+  obs_ = obs;
+  sim().SetObservability(obs);
+  const char* label = "ethernet";
+  switch (config_.cluster.medium) {
+    case MediumKind::kEthernet:
+      label = "ethernet";
+      break;
+    case MediumKind::kAcknowledgingEthernet:
+      label = "ack_ethernet";
+      break;
+    case MediumKind::kStarHub:
+      label = "star_hub";
+      break;
+    case MediumKind::kTokenRing:
+      label = "token_ring";
+      break;
+  }
+  cluster_->medium().SetObservability(obs, label);
+  recorder_->SetObservability(obs);  // Covers the recorder's own endpoint.
+  for (NodeId node : cluster_->node_ids()) {
+    NodeKernel* kernel = cluster_->kernel(node);
+    if (kernel != nullptr) {
+      kernel->endpoint().SetObservability(obs);
+    }
+  }
+  recovery_->SetObservability(obs);
+  if (config_.storage_backend != nullptr) {
+    config_.storage_backend->SetObservability(obs);
+  }
+}
 
 void PublishingSystem::EnableCheckpointPolicy(std::unique_ptr<CheckpointPolicy> policy,
                                               SimDuration poll_period) {

@@ -62,6 +62,14 @@ class PublishingSystem {
   RecoveryManager& recovery() { return *recovery_; }
   StableStorage& storage() { return storage_; }
 
+  // Fans one Observability value out to every layer: simulator, medium (with
+  // a label naming the configured medium kind), the recorder and its
+  // endpoint, every node kernel's endpoint, the recovery manager, and the
+  // storage backend if one is attached.  Pass a default-constructed value to
+  // detach everything.
+  void EnableObservability(const Observability& obs);
+  const Observability& observability() const { return obs_; }
+
   // Installs a checkpoint policy; replaces any previous one.
   void EnableCheckpointPolicy(std::unique_ptr<CheckpointPolicy> policy,
                               SimDuration poll_period = Millis(100));
@@ -91,6 +99,8 @@ class PublishingSystem {
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<CheckpointScheduler> checkpoint_scheduler_;
   std::unique_ptr<PeriodicTask> node_checkpoint_task_;
+  Observability obs_;
+  uint64_t log_time_token_ = 0;
 };
 
 }  // namespace publishing

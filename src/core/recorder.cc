@@ -1,5 +1,7 @@
 #include "src/core/recorder.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 #include "src/net/link_layer.h"
 #include "src/transport/packet.h"
@@ -33,6 +35,24 @@ Recorder::Recorder(Simulator* sim, Medium* medium, NameService* names, StableSto
 
 Recorder::~Recorder() = default;
 
+void Recorder::SetObservability(const Observability& obs) {
+  tracer_ = obs.tracer;
+  if (obs.metrics != nullptr) {
+    obs_frames_seen_ = obs.metrics->GetCounter("recorder.frames_seen");
+    obs_messages_published_ = obs.metrics->GetCounter("recorder.messages_published");
+    obs_bytes_published_ = obs.metrics->GetCounter("recorder.bytes_published");
+    obs_checkpoints_stored_ = obs.metrics->GetCounter("recorder.checkpoints_stored");
+    obs_publish_cost_ = obs.metrics->GetHistogram("recorder.publish_cost_ms");
+  } else {
+    obs_frames_seen_ = nullptr;
+    obs_messages_published_ = nullptr;
+    obs_bytes_published_ = nullptr;
+    obs_checkpoints_stored_ = nullptr;
+    obs_publish_cost_ = nullptr;
+  }
+  endpoint_->SetObservability(obs);
+}
+
 bool Recorder::OnWireFrame(const Frame& frame) {
   if (down_) {
     // §3.3.4: "all message traffic to processes must be suspended whenever
@@ -40,6 +60,9 @@ bool Recorder::OnWireFrame(const Frame& frame) {
     return false;
   }
   ++stats_.frames_seen;
+  if (obs_frames_seen_ != nullptr) {
+    obs_frames_seen_->Add(1);
+  }
   if (frame.src == options_.node) {
     // Our own transmissions (replays, acks) need no recording.
     return true;
@@ -79,9 +102,24 @@ bool Recorder::RecordParsedPacket(const Packet& packet, size_t wire_bytes) {
     // not replayed.
     return true;
   }
-  stats_.publish_cpu += PublishCpuCost(options_.path);
+  const SimDuration publish_cost = PublishCpuCost(options_.path);
+  stats_.publish_cpu += publish_cost;
   ++stats_.messages_published;
   stats_.bytes_published += wire_bytes;
+  if (obs_messages_published_ != nullptr) {
+    obs_messages_published_->Add(1);
+    obs_bytes_published_->Add(wire_bytes);
+    obs_publish_cost_->Observe(ToMillis(publish_cost));
+  }
+  if (tracer_ != nullptr) {
+    // The publish span covers the recorder CPU spent on this message,
+    // anchored at the moment the frame was overheard.
+    const SimTime span_start = std::max<SimTime>(0, sim_->Now() - publish_cost);
+    tracer_->Complete(span_start, "recorder.publish", "recorder",
+                      obs_track::kRecorder,
+                      {{"bytes", std::to_string(wire_bytes)},
+                       {"dst_node", std::to_string(packet.header.dst_node.value)}});
+  }
   if (options_.node_unit) {
     storage_->AppendNodeMessage(packet.header.dst_node, packet.header.id,
                                 SerializePacket(packet));
@@ -154,6 +192,9 @@ bool Recorder::ApplyNotice(const Packet& packet) {
       auto checkpoint = DecodeCheckpoint(packet.body);
       if (checkpoint.ok()) {
         ++stats_.checkpoints_stored;
+        if (obs_checkpoints_stored_ != nullptr) {
+          obs_checkpoints_stored_->Add(1);
+        }
         storage_->StoreCheckpoint(checkpoint->pid, std::move(checkpoint->state),
                                   checkpoint->reads_done);
       }
@@ -163,6 +204,9 @@ bool Recorder::ApplyNotice(const Packet& packet) {
       auto checkpoint = DecodeNodeCheckpoint(packet.body);
       if (checkpoint.ok()) {
         ++stats_.checkpoints_stored;
+        if (obs_checkpoints_stored_ != nullptr) {
+          obs_checkpoints_stored_->Add(1);
+        }
         storage_->StoreNodeCheckpoint(checkpoint->node, std::move(checkpoint->image),
                                       checkpoint->node_step);
       }
@@ -177,6 +221,9 @@ void Recorder::Crash() {
   down_ = true;
   endpoint_->set_online(false);
   endpoint_->Reset();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("recorder.crash", "recorder", obs_track::kRecorder, {});
+  }
 }
 
 void Recorder::Restart() {
@@ -186,6 +233,10 @@ void Recorder::Restart() {
   down_ = false;
   endpoint_->set_online(true);
   const uint64_t restart_number = storage_->IncrementRestartNumber();
+  if (tracer_ != nullptr) {
+    tracer_->Instant("recorder.restart", "recorder", obs_track::kRecorder,
+                     {{"restart", std::to_string(restart_number)}});
+  }
   PUB_LOG_INFO("recorder: restart #%llu", static_cast<unsigned long long>(restart_number));
   if (restart_handler_) {
     restart_handler_(restart_number);

@@ -102,6 +102,10 @@ class Recorder : public PromiscuousListener, public ReadOrderFeed {
   // can share the parse across members.
   bool RecordParsedPacket(const Packet& packet, size_t wire_bytes);
 
+  // Resolves the recorder's instruments (recorder.* series) and keeps the
+  // tracer for per-message publish spans.  Forwards to the owned endpoint.
+  void SetObservability(const Observability& obs);
+
   ProcessId RecorderPid() const { return ProcessId{options_.node, NodeKernel::kKernelLocalId}; }
   NodeId node() const { return options_.node; }
   StableStorage& storage() { return *storage_; }
@@ -122,6 +126,14 @@ class Recorder : public PromiscuousListener, public ReadOrderFeed {
   std::function<void(uint64_t)> restart_handler_;
   std::function<bool(const Packet&)> packet_handler_;
   RecorderStats stats_;
+
+  // Observability handles (null = detached).
+  Tracer* tracer_ = nullptr;
+  Counter* obs_frames_seen_ = nullptr;
+  Counter* obs_messages_published_ = nullptr;
+  Counter* obs_bytes_published_ = nullptr;
+  Counter* obs_checkpoints_stored_ = nullptr;
+  Histogram* obs_publish_cost_ = nullptr;
 };
 
 }  // namespace publishing

@@ -15,6 +15,21 @@ RecoveryManager::RecoveryManager(Cluster* cluster, Recorder* recorder,
 
 RecoveryManager::~RecoveryManager() = default;
 
+void RecoveryManager::SetObservability(const Observability& obs) {
+  tracer_ = obs.tracer;
+  if (obs.metrics != nullptr) {
+    obs_recoveries_started_ = obs.metrics->GetCounter("recovery.started");
+    obs_recoveries_completed_ = obs.metrics->GetCounter("recovery.completed");
+    obs_node_crashes_ = obs.metrics->GetCounter("recovery.node_crashes_detected");
+    obs_replayed_messages_ = obs.metrics->GetCounter("recovery.replayed_messages");
+  } else {
+    obs_recoveries_started_ = nullptr;
+    obs_recoveries_completed_ = nullptr;
+    obs_node_crashes_ = nullptr;
+    obs_replayed_messages_ = nullptr;
+  }
+}
+
 void RecoveryManager::Start() {
   ProcessId manager{recorder_->node(), kManagerLocalId};
   cluster_->names().SetLocation(manager, recorder_->node());
@@ -101,6 +116,13 @@ void RecoveryManager::DeclareNodeCrashed(NodeId node) {
   NodeWatch& watch = watches_[node];
   watch.declared_down = true;
   ++stats_.node_crashes_detected;
+  if (obs_node_crashes_ != nullptr) {
+    obs_node_crashes_->Add(1);
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("recovery.node_crash_detected", "recovery", obs_track::kRecovery,
+                     {{"node", std::to_string(node.value)}});
+  }
   if (responsibility_ && !responsibility_(node)) {
     // A higher-priority recorder owns this node.  "If P_i does not recover
     // in a set interval, R periodically requeries its higher priority nodes
@@ -181,6 +203,10 @@ void RecoveryManager::TriggerNodeRecovery(NodeId node) {
 // ---------------------------------------------------------------------------
 
 void RecoveryManager::OnProcessCrashNotice(const ProcessId& pid) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant("recovery.crash_notice", "recovery", obs_track::kRecovery,
+                     {{"pid", ToString(pid)}});
+  }
   if (responsibility_) {
     auto info = recorder_->storage().Info(pid);
     if (info.ok() && !responsibility_(info->home_node)) {
@@ -244,6 +270,22 @@ void RecoveryManager::StartRecovery(const ProcessId& pid, NodeId target_node) {
   }
 
   ++stats_.process_recoveries_started;
+  if (obs_recoveries_started_ != nullptr) {
+    obs_recoveries_started_->Add(1);
+  }
+  if (tracer_ != nullptr) {
+    rp.span_id = tracer_->BeginSpan(
+        "recovery.process", "recovery", obs_track::kRecovery,
+        {{"pid", ToString(pid)},
+         {"node", std::to_string(target_node.value)},
+         {"round", std::to_string(rp.round)},
+         {"checkpoint", req.has_checkpoint ? "yes" : "no"}});
+    if (req.has_checkpoint) {
+      tracer_->Instant("recovery.checkpoint_loaded", "recovery", obs_track::kRecovery,
+                       {{"pid", ToString(pid)},
+                        {"bytes", std::to_string(req.checkpoint_state.size())}});
+    }
+  }
   // §3.3.1: "whether or not the process is recovering" is part of the stable
   // database entry, so a recorder rebuilt from disk knows which recoveries
   // its previous incarnation left in flight.
@@ -265,6 +307,15 @@ void RecoveryManager::BeginReplay(RecoveryProcess& rp) {
   // Anything logged later is being held in the kernel's pending-live queue
   // and gets released (minus replayed ids) at recovery completion.
   rp.replay = recorder_->storage().ReplayList(rp.target);
+  if (tracer_ != nullptr) {
+    rp.replay_span_id = tracer_->BeginSpan(
+        "recovery.replay", "recovery", obs_track::kRecovery,
+        {{"pid", ToString(rp.target)},
+         {"messages", std::to_string(rp.replay.size())}});
+  }
+  if (obs_replayed_messages_ != nullptr) {
+    obs_replayed_messages_->Add(rp.replay.size());
+  }
   // Inject every published message, flagged as replay so the duplicate cache
   // lets it through (§4.7).  The transport's one-outstanding-per-node rule
   // keeps these — and the completion that follows — in order.
@@ -314,6 +365,22 @@ void RecoveryManager::StartNodeRecovery(NodeId node) {
   ProcessId kernel_pid{node, NodeKernel::kKernelLocalId};
   req.last_sent.emplace_back(kernel_pid, recorder_->storage().LastSent(kernel_pid));
   ++stats_.process_recoveries_started;
+  if (obs_recoveries_started_ != nullptr) {
+    obs_recoveries_started_->Add(1);
+  }
+  if (tracer_ != nullptr) {
+    nr.span_id = tracer_->BeginSpan(
+        "recovery.process", "recovery", obs_track::kRecovery,
+        {{"node", std::to_string(node.value)},
+         {"round", std::to_string(nr.round)},
+         {"checkpoint", req.has_image ? "yes" : "no"},
+         {"unit", "node"}});
+    if (req.has_image) {
+      tracer_->Instant("recovery.checkpoint_loaded", "recovery", obs_track::kRecovery,
+                       {{"node", std::to_string(node.value)},
+                        {"bytes", std::to_string(req.image.size())}});
+    }
+  }
   PUB_LOG_INFO("recovery: node-unit recovery of node %u (round %llu, image: %s)", node.value,
                static_cast<unsigned long long>(nr.round), req.has_image ? "yes" : "none");
   SendFromRecoveryPid(nr.rproc, ProcessId{node, NodeKernel::kKernelLocalId},
@@ -323,8 +390,17 @@ void RecoveryManager::StartNodeRecovery(NodeId node) {
 
 void RecoveryManager::BeginNodeReplay(NodeRecovery& nr) {
   // Snapshot after the restore-ack, for the same reason BeginReplay does.
-  for (const StableStorage::NodeLogEntry& entry :
-       recorder_->storage().NodeReplayList(nr.node)) {
+  const auto node_replay = recorder_->storage().NodeReplayList(nr.node);
+  if (tracer_ != nullptr) {
+    nr.replay_span_id = tracer_->BeginSpan(
+        "recovery.replay", "recovery", obs_track::kRecovery,
+        {{"node", std::to_string(nr.node.value)},
+         {"messages", std::to_string(node_replay.size())}});
+  }
+  if (obs_replayed_messages_ != nullptr) {
+    obs_replayed_messages_->Add(node_replay.size());
+  }
+  for (const StableStorage::NodeLogEntry& entry : node_replay) {
     NodeReplayMessage msg;
     msg.step = entry.step;
     msg.packet = entry.packet;
@@ -367,9 +443,24 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
       if (it != recoveries_.end() && it->second.round == target->recovery_round &&
           it->second.phase == Phase::kAwaitCompleteAck) {
         ProcessId pid = it->second.target;
+        if (tracer_ != nullptr) {
+          if (it->second.replay_span_id != 0) {
+            tracer_->EndSpan(it->second.replay_span_id, "recovery.replay", "recovery",
+                             obs_track::kRecovery);
+          }
+          if (it->second.span_id != 0) {
+            tracer_->EndSpan(it->second.span_id, "recovery.process", "recovery",
+                             obs_track::kRecovery);
+          }
+          tracer_->Instant("recovery.caught_up", "recovery", obs_track::kRecovery,
+                           {{"pid", ToString(pid)}});
+        }
         recoveries_.erase(it);
         recorder_->storage().SetRecovering(pid, false);
         ++stats_.process_recoveries_completed;
+        if (obs_recoveries_completed_ != nullptr) {
+          obs_recoveries_completed_->Add(1);
+        }
         PUB_LOG_INFO("recovery: %s recovered", ToString(pid).c_str());
         if (recovery_done_) {
           recovery_done_(pid);
@@ -397,8 +488,23 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
       auto it = node_recoveries_.find(round->node);
       if (it != node_recoveries_.end() && it->second.round == round->recovery_round &&
           it->second.phase == Phase::kAwaitCompleteAck) {
+        if (tracer_ != nullptr) {
+          if (it->second.replay_span_id != 0) {
+            tracer_->EndSpan(it->second.replay_span_id, "recovery.replay", "recovery",
+                             obs_track::kRecovery);
+          }
+          if (it->second.span_id != 0) {
+            tracer_->EndSpan(it->second.span_id, "recovery.process", "recovery",
+                             obs_track::kRecovery);
+          }
+          tracer_->Instant("recovery.caught_up", "recovery", obs_track::kRecovery,
+                           {{"node", std::to_string(round->node.value)}});
+        }
         node_recoveries_.erase(it);
         ++stats_.process_recoveries_completed;
+        if (obs_recoveries_completed_ != nullptr) {
+          obs_recoveries_completed_->Add(1);
+        }
         PUB_LOG_INFO("recovery: node %u recovered as a unit", round->node.value);
         if (recovery_done_) {
           recovery_done_(ProcessId{round->node, NodeKernel::kKernelLocalId});

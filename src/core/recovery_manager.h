@@ -98,6 +98,10 @@ class RecoveryManager {
     responsibility_ = std::move(filter);
   }
 
+  // Resolves the manager's instruments (recovery.* series) and keeps the
+  // tracer for the crash → replay → caught-up recovery timeline.
+  void SetObservability(const Observability& obs);
+
  private:
   enum class Phase { kAwaitRecreateAck, kAwaitCompleteAck };
 
@@ -108,6 +112,8 @@ class RecoveryManager {
     uint64_t round = 0;
     Phase phase = Phase::kAwaitRecreateAck;
     std::vector<LogEntry> replay;  // Snapshot of the log at start.
+    uint64_t span_id = 0;          // Open recovery.process span, 0 = none.
+    uint64_t replay_span_id = 0;   // Open recovery.replay span, 0 = none.
   };
 
   struct NodeWatch {
@@ -123,6 +129,8 @@ class RecoveryManager {
     ProcessId rproc;
     uint64_t round = 0;
     Phase phase = Phase::kAwaitRecreateAck;
+    uint64_t span_id = 0;          // Open recovery.process span, 0 = none.
+    uint64_t replay_span_id = 0;   // Open recovery.replay span, 0 = none.
   };
 
   void StartRecovery(const ProcessId& pid, NodeId target_node);
@@ -152,6 +160,13 @@ class RecoveryManager {
   RecoveryManagerStats stats_;
   std::function<void(const ProcessId&)> recovery_done_;
   std::function<bool(NodeId)> responsibility_;
+
+  // Observability handles (null = detached).
+  Tracer* tracer_ = nullptr;
+  Counter* obs_recoveries_started_ = nullptr;
+  Counter* obs_recoveries_completed_ = nullptr;
+  Counter* obs_node_crashes_ = nullptr;
+  Counter* obs_replayed_messages_ = nullptr;
 };
 
 }  // namespace publishing

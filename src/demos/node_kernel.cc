@@ -507,7 +507,7 @@ Result<ProcessId> NodeKernel::CreateProcessInternal(const std::string& program,
   return pid;
 }
 
-void NodeKernel::DestroyProcessInternal(const ProcessId& pid, bool notify) {
+void NodeKernel::DestroyProcessInternal(ProcessId pid, bool notify) {
   auto it = processes_.find(pid);
   if (it == processes_.end()) {
     return;

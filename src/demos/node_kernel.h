@@ -275,7 +275,9 @@ class NodeKernel {
   void HandleStateQuery(const Packet& packet);
   Result<ProcessId> CreateProcessInternal(const std::string& program,
                                           std::vector<Link> initial_links, bool recoverable);
-  void DestroyProcessInternal(const ProcessId& pid, bool notify);
+  // `pid` is taken by value: callers pass ids that live inside the record
+  // this function erases (e.g. proc.pid from HandleDeliverToKernel).
+  void DestroyProcessInternal(ProcessId pid, bool notify);
 
   // --- Checkpoint capture ---
   ProcessImage BuildProcessImage(const ProcessRecord& proc) const;

@@ -8,8 +8,7 @@ void Ethernet::Send(Frame frame) {
   if (options_.acknowledging && frame.type == FrameType::kAck) {
     // Reserved-slot transmission: no contention, no channel occupancy beyond
     // the (already accounted) ack slot of the frame being acknowledged.
-    ++stats_.frames_sent;
-    stats_.bytes_sent += frame.WireBytes();
+    NoteFrameSent(frame);
     Frame copy = std::move(frame);
     sim()->ScheduleAfter(Micros(10), [this, copy = std::move(copy)]() mutable {
       RunListeners(copy);  // The recorder still overhears acks (§4.4.1).
@@ -26,7 +25,7 @@ void Ethernet::StartNext() {
     return;
   }
   transmitting_ = true;
-  stats_.channel.SetBusy(sim()->Now(), true);
+  NoteChannelBusy(true);
 
   // CSMA contention: if several distinct stations hold queued frames, they
   // all attempt when the channel goes idle; each collision round wastes one
@@ -40,35 +39,36 @@ void Ethernet::StartNext() {
     const double collide_p = 1.0 - 1.0 / static_cast<double>(contenders.size());
     while (fault_rng().NextBernoulli(collide_p)) {
       contention += options_.slot_time;
-      ++stats_.collisions;
+      NoteCollision();
     }
   }
 
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
-  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+  NoteQueueDelay(ToMillis(sim()->Now() - pending.enqueued));
 
   SimDuration occupancy = contention + timings().TransmitTime(pending.frame.WireBytes());
   if (options_.acknowledging) {
     occupancy += options_.ack_slot;
   }
-  ++stats_.frames_sent;
-  stats_.bytes_sent += pending.frame.WireBytes();
+  NoteFrameSent(pending.frame);
 
-  sim()->ScheduleAfter(occupancy, [this, frame = std::move(pending.frame)]() mutable {
-    CompleteTransmission(std::move(frame));
+  const SimTime start = sim()->Now();
+  sim()->ScheduleAfter(occupancy, [this, frame = std::move(pending.frame), start]() mutable {
+    CompleteTransmission(std::move(frame), start);
   });
 }
 
-void Ethernet::CompleteTransmission(Frame frame) {
+void Ethernet::CompleteTransmission(Frame frame, SimTime start) {
+  TraceTransmission(start, frame);
   bool recorded = RunListeners(frame);
   if (recorded || !options_.recorder_gating || !HasListeners()) {
     DeliverToStations(frame);
   } else {
-    ++stats_.frames_vetoed;
+    NoteVetoed(frame);
   }
   transmitting_ = false;
-  stats_.channel.SetBusy(sim()->Now(), false);
+  NoteChannelBusy(false);
   StartNext();
 }
 

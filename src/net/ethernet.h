@@ -56,7 +56,7 @@ class Ethernet : public Medium {
   };
 
   void StartNext();
-  void CompleteTransmission(Frame frame);
+  void CompleteTransmission(Frame frame, SimTime start);
 
   EthernetOptions options_;
   std::deque<Pending> queue_;

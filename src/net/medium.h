@@ -10,12 +10,15 @@
 #define SRC_NET_MEDIUM_H_
 
 #include <cstdint>
+#include <string>
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/ids.h"
 #include "src/common/rng.h"
 #include "src/net/frame.h"
+#include "src/obs/observability.h"
 #include "src/sim/simulator.h"
 #include "src/sim/stats.h"
 
@@ -123,6 +126,32 @@ class Medium {
   Simulator* sim() const { return sim_; }
   const MediumTimings& timings() const { return timings_; }
 
+  // Resolves the medium's instruments under `net.*{medium=label}` and keeps
+  // the tracer for per-transmission spans.  Null members detach.
+  void SetObservability(const Observability& obs, std::string_view label) {
+    tracer_ = obs.tracer;
+    if (obs.metrics != nullptr) {
+      const MetricLabels labels = {{"medium", std::string(label)}};
+      obs_frames_sent_ = obs.metrics->GetCounter("net.frames_sent", labels);
+      obs_bytes_sent_ = obs.metrics->GetCounter("net.bytes_sent", labels);
+      obs_frames_delivered_ = obs.metrics->GetCounter("net.frames_delivered", labels);
+      obs_frames_vetoed_ = obs.metrics->GetCounter("net.frames_vetoed", labels);
+      obs_frames_corrupted_ = obs.metrics->GetCounter("net.frames_corrupted", labels);
+      obs_collisions_ = obs.metrics->GetCounter("net.collisions", labels);
+      obs_queue_delay_ = obs.metrics->GetHistogram("net.queue_delay_ms", labels);
+      obs_utilization_ = obs.metrics->GetGauge("net.channel_utilization", labels);
+    } else {
+      obs_frames_sent_ = nullptr;
+      obs_bytes_sent_ = nullptr;
+      obs_frames_delivered_ = nullptr;
+      obs_frames_vetoed_ = nullptr;
+      obs_frames_corrupted_ = nullptr;
+      obs_collisions_ = nullptr;
+      obs_queue_delay_ = nullptr;
+      obs_utilization_ = nullptr;
+    }
+  }
+
  protected:
   // Runs the listeners that share the sender's partition; returns true iff
   // every such listener recorded the frame (the multi-recorder rule of §6.3:
@@ -177,6 +206,58 @@ class Medium {
   Rng& fault_rng() { return fault_rng_; }
   const MediumFaults& faults() const { return faults_; }
 
+  // --- Accounting helpers shared by the concrete media ---
+  // Each updates the legacy MediumStats and, when attached, the registry;
+  // concrete media call these instead of poking stats_ fields directly.
+  void NoteFrameSent(const Frame& frame) {
+    ++stats_.frames_sent;
+    stats_.bytes_sent += frame.WireBytes();
+    if (obs_frames_sent_ != nullptr) {
+      obs_frames_sent_->Add(1);
+      obs_bytes_sent_->Add(frame.WireBytes());
+    }
+  }
+  void NoteQueueDelay(double delay_ms) {
+    stats_.queue_delay_ms.Add(delay_ms);
+    if (obs_queue_delay_ != nullptr) {
+      obs_queue_delay_->Observe(delay_ms);
+    }
+  }
+  void NoteCollision() {
+    ++stats_.collisions;
+    if (obs_collisions_ != nullptr) {
+      obs_collisions_->Add(1);
+    }
+  }
+  void NoteVetoed(const Frame& frame) {
+    ++stats_.frames_vetoed;
+    if (obs_frames_vetoed_ != nullptr) {
+      obs_frames_vetoed_->Add(1);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant("net.veto", "net", obs_track::kNet,
+                       {{"type", FrameTypeName(frame.type)}});
+    }
+  }
+  // Marks the shared channel busy/idle, keeping the utilization gauge fresh.
+  void NoteChannelBusy(bool busy) {
+    stats_.channel.SetBusy(sim_->Now(), busy);
+    if (obs_utilization_ != nullptr) {
+      obs_utilization_->Set(stats_.channel.Utilization());
+    }
+  }
+  // One complete span per on-wire transmission, [start, now].
+  void TraceTransmission(SimTime start, FrameType type, size_t wire_bytes) {
+    if (tracer_ != nullptr) {
+      tracer_->Complete(start, "net.transmit", "net", obs_track::kNet,
+                        {{"type", FrameTypeName(type)},
+                         {"bytes", std::to_string(wire_bytes)}});
+    }
+  }
+  void TraceTransmission(SimTime start, const Frame& frame) {
+    TraceTransmission(start, frame.type, frame.WireBytes());
+  }
+
  private:
   void DeliverCopy(Station* station, const Frame& frame) {
     Frame copy = frame;
@@ -184,8 +265,14 @@ class Medium {
         fault_rng_.NextBernoulli(faults_.receiver_error_rate)) {
       copy.corrupted = true;
       ++stats_.frames_corrupted;
+      if (obs_frames_corrupted_ != nullptr) {
+        obs_frames_corrupted_->Add(1);
+      }
     }
     ++stats_.frames_delivered;
+    if (obs_frames_delivered_ != nullptr) {
+      obs_frames_delivered_->Add(1);
+    }
     station->OnFrame(copy);
   }
 
@@ -202,6 +289,17 @@ class Medium {
   std::vector<NodeId> attach_order_;
   std::vector<ListenerEntry> listeners_;
   std::unordered_map<NodeId, int> partitions_;
+
+  // Observability handles (null = detached).
+  Tracer* tracer_ = nullptr;
+  Counter* obs_frames_sent_ = nullptr;
+  Counter* obs_bytes_sent_ = nullptr;
+  Counter* obs_frames_delivered_ = nullptr;
+  Counter* obs_frames_vetoed_ = nullptr;
+  Counter* obs_frames_corrupted_ = nullptr;
+  Counter* obs_collisions_ = nullptr;
+  Histogram* obs_queue_delay_ = nullptr;
+  Gauge* obs_utilization_ = nullptr;
 
  protected:
   MediumStats stats_;

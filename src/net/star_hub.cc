@@ -12,32 +12,33 @@ void StarHub::StartNext() {
     return;
   }
   busy_ = true;
-  stats_.channel.SetBusy(sim()->Now(), true);
+  NoteChannelBusy(true);
 
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
-  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+  NoteQueueDelay(ToMillis(sim()->Now() - pending.enqueued));
 
-  ++stats_.frames_sent;
-  stats_.bytes_sent += pending.frame.WireBytes();
+  NoteFrameSent(pending.frame);
 
   // Leg 1: source to hub.
+  const SimTime start = sim()->Now();
   const SimDuration leg = timings().TransmitTime(pending.frame.WireBytes());
-  sim()->ScheduleAfter(leg, [this, frame = std::move(pending.frame), leg]() mutable {
+  sim()->ScheduleAfter(leg, [this, frame = std::move(pending.frame), leg, start]() mutable {
     // The hub is the recorder: record (or fail to) before forwarding.
     bool recorded = RunListeners(frame);
     if (!recorded && HasListeners()) {
-      ++stats_.frames_vetoed;
+      NoteVetoed(frame);
       busy_ = false;
-      stats_.channel.SetBusy(sim()->Now(), false);
+      NoteChannelBusy(false);
       StartNext();
       return;
     }
     // Leg 2: hub to destination.
-    sim()->ScheduleAfter(leg, [this, frame = std::move(frame)]() mutable {
+    sim()->ScheduleAfter(leg, [this, frame = std::move(frame), start]() mutable {
+      TraceTransmission(start, frame);
       DeliverToStations(frame);
       busy_ = false;
-      stats_.channel.SetBusy(sim()->Now(), false);
+      NoteChannelBusy(false);
       StartNext();
     });
   });

@@ -33,11 +33,11 @@ void TokenRing::StartNext() {
     return;
   }
   token_held_ = true;
-  stats_.channel.SetBusy(sim()->Now(), true);
+  NoteChannelBusy(true);
 
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
-  stats_.queue_delay_ms.Add(ToMillis(sim()->Now() - pending.enqueued));
+  NoteQueueDelay(ToMillis(sim()->Now() - pending.enqueued));
 
   const size_t n = attach_order().empty() ? 1 : attach_order().size();
   const size_t sender = RingIndexOf(pending.frame.src);
@@ -46,10 +46,10 @@ void TokenRing::StartNext() {
   const SimDuration transmit = timings().TransmitTime(pending.frame.WireBytes());
   const SimDuration rotation = options_.hop_delay * static_cast<SimDuration>(n);
 
-  ++stats_.frames_sent;
-  stats_.bytes_sent += pending.frame.WireBytes();
+  NoteFrameSent(pending.frame);
 
   const size_t hops_to_recorder = HopsBetween(sender, options_.recorder_position % n);
+  const SimTime send_start = sim()->Now();
   const SimTime start = sim()->Now() + token_wait + transmit;
 
   // Recorder pass: record (or invalidate) when the frame reaches the
@@ -62,7 +62,7 @@ void TokenRing::StartNext() {
           // Complement the checksum: the destination will reject the frame.
           LinkInvalidate(frame.payload);
           frame.corrupted = true;
-          ++stats_.frames_vetoed;
+          NoteVetoed(frame);
         }
         // Delivery pass.
         SimDuration delivery_offset;
@@ -86,9 +86,12 @@ void TokenRing::StartNext() {
       });
 
   // The sender removes the frame when it returns and reinserts the token.
-  sim()->ScheduleAt(start + rotation, [this] {
+  const FrameType sent_type = pending.frame.type;
+  const size_t sent_bytes = pending.frame.WireBytes();
+  sim()->ScheduleAt(start + rotation, [this, send_start, sent_type, sent_bytes] {
+    TraceTransmission(send_start, sent_type, sent_bytes);
     token_held_ = false;
-    stats_.channel.SetBusy(sim()->Now(), false);
+    NoteChannelBusy(false);
     StartNext();
   });
 }

@@ -1,0 +1,199 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace publishing {
+
+namespace {
+
+template <typename T>
+T* FindOrCreate(std::map<std::string, std::unique_ptr<T>>& table, std::string_view name,
+                const MetricLabels& labels) {
+  std::string key = MetricKey(name, labels);
+  auto it = table.find(key);
+  if (it == table.end()) {
+    it = table.emplace(std::move(key), std::make_unique<T>()).first;
+  }
+  return it->second.get();
+}
+
+void AppendHistogramJson(std::string& out, const Histogram& h) {
+  const StatAccumulator& s = h.stats();
+  out += "{\"count\":" + FormatMetricValue(static_cast<double>(s.count()));
+  out += ",\"sum\":" + FormatMetricValue(s.sum());
+  out += ",\"mean\":" + FormatMetricValue(s.mean());
+  out += ",\"min\":" + FormatMetricValue(s.min());
+  out += ",\"max\":" + FormatMetricValue(s.max());
+  out += ",\"stddev\":" + FormatMetricValue(s.stddev());
+  out += ",\"p50\":" + FormatMetricValue(s.p50());
+  out += ",\"p99\":" + FormatMetricValue(s.p99());
+  out += "}";
+}
+
+bool WriteStringToFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
+}  // namespace
+
+std::string MetricKey(std::string_view name, const MetricLabels& labels) {
+  if (labels.empty()) {
+    return std::string(name);
+  }
+  MetricLabels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  std::string key(name);
+  key += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) {
+      key += ',';
+    }
+    key += sorted[i].first;
+    key += '=';
+    key += sorted[i].second;
+  }
+  key += '}';
+  return key;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatMetricValue(double value) {
+  if (std::isnan(value)) {
+    return "0";  // JSON has no NaN; an unobserved stat reads as zero.
+  }
+  if (value == static_cast<double>(static_cast<int64_t>(value)) &&
+      std::abs(value) < 9.0e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  return buf;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(counters_, name, labels);
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(gauges_, name, labels);
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name, const MetricLabels& labels) {
+  return FindOrCreate(histograms_, name, labels);
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [key, counter] : counters_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(key) + "\":" +
+           FormatMetricValue(static_cast<double>(counter->value()));
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [key, gauge] : gauges_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(key) + "\":" + FormatMetricValue(gauge->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [key, histogram] : histograms_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += '"' + JsonEscape(key) + "\":";
+    AppendHistogramJson(out, *histogram);
+  }
+  out += "}}";
+  return out;
+}
+
+std::string MetricsRegistry::ToCsv() const {
+  std::string out = "metric,stat,value\n";
+  auto row = [&out](const std::string& key, const char* stat, double value) {
+    // Commas inside a key (multi-label instruments) would split the column;
+    // quote the key field unconditionally.
+    out += '"' + key + "\"," + stat + ',' + FormatMetricValue(value) + '\n';
+  };
+  for (const auto& [key, counter] : counters_) {
+    row(key, "value", static_cast<double>(counter->value()));
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    row(key, "value", gauge->value());
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    const StatAccumulator& s = histogram->stats();
+    row(key, "count", static_cast<double>(s.count()));
+    row(key, "sum", s.sum());
+    row(key, "mean", s.mean());
+    row(key, "min", s.min());
+    row(key, "max", s.max());
+    row(key, "stddev", s.stddev());
+    row(key, "p50", s.p50());
+    row(key, "p99", s.p99());
+  }
+  return out;
+}
+
+bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
+  return WriteStringToFile(path, ToJson());
+}
+
+bool MetricsRegistry::WriteCsvFile(const std::string& path) const {
+  return WriteStringToFile(path, ToCsv());
+}
+
+}  // namespace publishing

@@ -1,0 +1,125 @@
+// Virtual-time metrics registry (the registry DESIGN.md promised for the
+// simulator, grown into its own subsystem).
+//
+// Three instrument kinds, all deterministic:
+//   * Counter   — monotonically increasing u64 (frames sent, fsyncs, ...)
+//   * Gauge     — last-write-wins double (queue depth, WAL bytes on disk)
+//   * Histogram — StatAccumulator-backed sample distribution (ack latency,
+//                 group-commit batch sizes); bounded memory, deterministic
+//                 reservoir percentiles.
+//
+// Instruments are identified by a name plus optional labels, rendered as
+// `name{key=value,...}` with labels sorted by key, so the same (name, labels)
+// pair always resolves to the same instrument and snapshots order the same
+// way on every run.  Lookup returns a stable pointer the caller caches once
+// at attach time; the hot path is then a single null check plus an add —
+// the ScopedMetrics/null-object discipline every instrumented component in
+// src/{sim,net,transport,core,storage} follows.  With no registry attached
+// the hooks are dead branches and runs are bit-identical to uninstrumented
+// ones.
+//
+// Snapshots serialize to JSON (machine-readable, the BENCH_*.json seed) and
+// CSV; both orderings are lexicographic by key, so two identical runs
+// produce byte-identical files.
+
+#ifndef SRC_OBS_METRICS_H_
+#define SRC_OBS_METRICS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace publishing {
+
+// Label set for one instrument, e.g. {{"medium", "ethernet"}}.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+// Canonical instrument key: `name` alone when `labels` is empty, otherwise
+// `name{k1=v1,k2=v2}` with labels sorted by key.
+std::string MetricKey(std::string_view name, const MetricLabels& labels);
+
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) { value_ += delta; }
+  uint64_t value() const { return value_; }
+
+ private:
+  uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void Set(double value) { value_ = value; }
+  void Add(double delta) { value_ += delta; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class Histogram {
+ public:
+  void Observe(double sample) { stats_.Add(sample); }
+  const StatAccumulator& stats() const { return stats_; }
+
+ private:
+  StatAccumulator stats_;
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Finds or creates the instrument for (name, labels).  The returned
+  // pointer is stable for the registry's lifetime; callers cache it and pay
+  // no lookup on the hot path.  A name may only be used with one instrument
+  // kind; reusing it with another kind returns a fresh instrument under the
+  // same key (last registration wins in the snapshot) — don't.
+  Counter* GetCounter(std::string_view name, const MetricLabels& labels = {});
+  Gauge* GetGauge(std::string_view name, const MetricLabels& labels = {});
+  Histogram* GetHistogram(std::string_view name, const MetricLabels& labels = {});
+
+  size_t size() const { return counters_.size() + gauges_.size() + histograms_.size(); }
+
+  // Deterministic serializations: keys sorted lexicographically, fixed
+  // number formatting.  Histograms expand to count/sum/mean/min/max/stddev/
+  // p50/p99 sub-objects.
+  std::string ToJson() const;
+  std::string ToCsv() const;
+
+  // Writes ToJson()/ToCsv() to `path`.  Returns false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+  bool WriteCsvFile(const std::string& path) const;
+
+  // Read access for tests and report generators.
+  const std::map<std::string, std::unique_ptr<Counter>>& counters() const { return counters_; }
+  const std::map<std::string, std::unique_ptr<Gauge>>& gauges() const { return gauges_; }
+  const std::map<std::string, std::unique_ptr<Histogram>>& histograms() const {
+    return histograms_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+// Escapes `s` for inclusion in a JSON string literal (quotes not included).
+std::string JsonEscape(std::string_view s);
+
+// Formats a double the way every obs serializer does: integral values print
+// without a fraction, others with up to 17 significant digits (round-trip
+// exact, deterministic across runs).
+std::string FormatMetricValue(double value);
+
+}  // namespace publishing
+
+#endif  // SRC_OBS_METRICS_H_

@@ -1,0 +1,65 @@
+// The wiring surface of the observability subsystem.
+//
+// An Observability value is a pair of optional sinks — a MetricsRegistry and
+// a Tracer — handed to each instrumented component.  The default-constructed
+// value (both null) is the null object: every component's hooks resolve to
+// cached null pointers and the instrumentation compiles down to untaken
+// branches, keeping uninstrumented runs bit-identical to the seed behaviour.
+//
+// Attach pattern (ScopedMetrics discipline): a component's SetObservability
+// resolves every instrument it will ever touch *once* — names, labels, the
+// lot — and stores raw Counter*/Gauge*/Histogram* handles.  Hot paths then
+// cost one predictable null check.  Components must not look instruments up
+// per event.
+//
+// PublishingSystem::EnableObservability fans one Observability out to every
+// layer: simulator, medium, transport endpoints, recorder, recovery manager,
+// and the storage backend.
+
+#ifndef SRC_OBS_OBSERVABILITY_H_
+#define SRC_OBS_OBSERVABILITY_H_
+
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace publishing {
+
+struct Observability {
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
+
+  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+};
+
+// RAII complete-span: opens at construction, emits on destruction.  A null
+// tracer makes it a no-op.  For spans that cross simulator events, use
+// Tracer::BeginSpan/EndSpan instead.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const char* name, const char* category, uint64_t track)
+      : tracer_(tracer), name_(name), category_(category), track_(track) {
+    if (tracer_ != nullptr) {
+      start_ = tracer_->now();
+    }
+  }
+
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Complete(start_, name_, category_, track_);
+    }
+  }
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  uint64_t track_;
+  SimTime start_ = 0;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_OBS_OBSERVABILITY_H_

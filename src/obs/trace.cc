@@ -1,0 +1,213 @@
+#include "src/obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "src/obs/metrics.h"
+#include "src/sim/simulator.h"
+
+namespace publishing {
+
+namespace {
+
+// Chrome-trace timestamps are microseconds; SimTime is nanoseconds.  Three
+// decimals preserve full nanosecond resolution.
+std::string FormatMicros(SimTime ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", static_cast<double>(ns) / 1000.0);
+  return buf;
+}
+
+void AppendArgs(std::string& out, const TraceArgs& args) {
+  out += "\"args\":{";
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"' + JsonEscape(args[i].first) + "\":\"" + JsonEscape(args[i].second) + '"';
+  }
+  out += '}';
+}
+
+}  // namespace
+
+Tracer::Tracer(const Simulator* sim, size_t capacity)
+    : sim_(sim), capacity_(capacity == 0 ? 1 : capacity) {
+  events_.reserve(std::min<size_t>(capacity_, 1024));
+}
+
+SimTime Tracer::now() const { return sim_->Now(); }
+
+void Tracer::Push(Record record) {
+  record.seq = next_seq_++;
+  if (events_.size() < capacity_) {
+    events_.push_back(std::move(record));
+    return;
+  }
+  events_[head_] = std::move(record);
+  head_ = (head_ + 1) % capacity_;
+  ++dropped_;
+}
+
+void Tracer::Complete(SimTime start, std::string name, std::string category, uint64_t track,
+                      TraceArgs args) {
+  Record record;
+  record.ts = start;
+  record.dur = now() - start;
+  record.phase = Phase::kComplete;
+  record.track = track;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.args = std::move(args);
+  Push(std::move(record));
+}
+
+void Tracer::Instant(std::string name, std::string category, uint64_t track, TraceArgs args) {
+  Record record;
+  record.ts = now();
+  record.phase = Phase::kInstant;
+  record.track = track;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.args = std::move(args);
+  Push(std::move(record));
+}
+
+uint64_t Tracer::BeginSpan(std::string name, std::string category, uint64_t track,
+                           TraceArgs args) {
+  const uint64_t id = next_async_id_++;
+  Record record;
+  record.ts = now();
+  record.phase = Phase::kAsyncBegin;
+  record.track = track;
+  record.async_id = id;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.args = std::move(args);
+  Push(std::move(record));
+  return id;
+}
+
+void Tracer::EndSpan(uint64_t id, std::string name, std::string category, uint64_t track,
+                     TraceArgs args) {
+  Record record;
+  record.ts = now();
+  record.phase = Phase::kAsyncEnd;
+  record.track = track;
+  record.async_id = id;
+  record.name = std::move(name);
+  record.category = std::move(category);
+  record.args = std::move(args);
+  Push(std::move(record));
+}
+
+void Tracer::CounterSample(std::string name, uint64_t track, double value) {
+  Record record;
+  record.ts = now();
+  record.phase = Phase::kCounter;
+  record.track = track;
+  record.name = std::move(name);
+  record.args.emplace_back("value", FormatMetricValue(value));
+  Push(std::move(record));
+}
+
+void Tracer::SetTrackName(uint64_t track, std::string name) {
+  track_names_[track] = std::move(name);
+}
+
+bool Tracer::Contains(std::string_view needle) const {
+  for (const Record& record : events_) {
+    if (record.name == needle || record.category == needle) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Tracer::ToChromeJson() const {
+  // Chronological order: the ring stores oldest-first from `head_`.
+  std::vector<const Record*> ordered;
+  ordered.reserve(events_.size());
+  for (size_t i = 0; i < events_.size(); ++i) {
+    ordered.push_back(&events_[(head_ + i) % events_.size()]);
+  }
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Record* a, const Record* b) {
+                     if (a->ts != b->ts) {
+                       return a->ts < b->ts;
+                     }
+                     return a->seq < b->seq;
+                   });
+
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&out, &first] {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+  };
+
+  // Track (thread) names: defaults for the standard tracks, overridable.
+  std::map<uint64_t, std::string> names = {
+      {obs_track::kSim, "sim"},           {obs_track::kNet, "net"},
+      {obs_track::kTransport, "transport"}, {obs_track::kRecorder, "recorder"},
+      {obs_track::kStorage, "storage"},   {obs_track::kRecovery, "recovery"},
+  };
+  for (const auto& [track, name] : track_names_) {
+    names[track] = name;
+  }
+  for (const auto& [track, name] : names) {
+    comma();
+    out += "{\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(track) +
+           ",\"name\":\"thread_name\",\"args\":{\"name\":\"" + JsonEscape(name) + "\"}}";
+  }
+
+  for (const Record* record : ordered) {
+    comma();
+    out += "{\"pid\":1,\"tid\":" + std::to_string(record->track);
+    out += ",\"ts\":" + FormatMicros(record->ts);
+    switch (record->phase) {
+      case Phase::kComplete:
+        out += ",\"ph\":\"X\",\"dur\":" + FormatMicros(record->dur);
+        break;
+      case Phase::kInstant:
+        out += ",\"ph\":\"i\",\"s\":\"t\"";
+        break;
+      case Phase::kAsyncBegin:
+        out += ",\"ph\":\"b\",\"id\":" + std::to_string(record->async_id);
+        break;
+      case Phase::kAsyncEnd:
+        out += ",\"ph\":\"e\",\"id\":" + std::to_string(record->async_id);
+        break;
+      case Phase::kCounter:
+        out += ",\"ph\":\"C\"";
+        break;
+    }
+    out += ",\"name\":\"" + JsonEscape(record->name) + '"';
+    out += ",\"cat\":\"" + JsonEscape(record->category.empty() ? "obs" : record->category) + '"';
+    out += ',';
+    if (record->phase == Phase::kCounter) {
+      // Counter args carry the numeric sample (unquoted).
+      out += "\"args\":{\"value\":" + record->args.front().second + '}';
+    } else {
+      AppendArgs(out, record->args);
+    }
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::WriteChromeJsonFile(const std::string& path) const {
+  const std::string json = ToChromeJson();
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  return written == json.size() && close_ok;
+}
+
+}  // namespace publishing

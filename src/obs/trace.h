@@ -1,0 +1,124 @@
+// Virtual-time event tracer with Chrome trace_event JSON export.
+//
+// Records what happened *when in virtual time*, as opposed to the metrics
+// registry's aggregate *how much*.  Four record shapes:
+//   * complete spans  — a named interval [start, now] on a track ("X"),
+//   * async spans     — begin/end pairs matched by id, for intervals that
+//                       cross simulator events (a recovery, a transport
+//                       round trip, a group-commit window) ("b"/"e"),
+//   * instants        — point events (crash detected, veto, fsync) ("i"),
+//   * counter samples — a value over time (queue depth) ("C").
+//
+// Memory is bounded: events land in a fixed-capacity ring buffer and the
+// oldest are overwritten once it fills (dropped() reports how many).  The
+// export is ordered by (virtual timestamp, record sequence), so identical
+// runs serialize byte-identically.
+//
+// ToChromeJson() emits the Trace Event Format consumed by chrome://tracing
+// and Perfetto (https://ui.perfetto.dev): tracks render as named threads,
+// timestamps are virtual-time microseconds.
+
+#ifndef SRC_OBS_TRACE_H_
+#define SRC_OBS_TRACE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace publishing {
+
+class Simulator;
+
+// Key/value annotations attached to a trace record, rendered into the
+// Chrome-trace "args" object.
+using TraceArgs = std::vector<std::pair<std::string, std::string>>;
+
+// Standard tracks (rendered as named threads).  One per instrumented layer;
+// the export emits thread_name metadata for each track it saw.
+namespace obs_track {
+inline constexpr uint64_t kSim = 1;
+inline constexpr uint64_t kNet = 2;
+inline constexpr uint64_t kTransport = 3;
+inline constexpr uint64_t kRecorder = 4;
+inline constexpr uint64_t kStorage = 5;
+inline constexpr uint64_t kRecovery = 6;
+}  // namespace obs_track
+
+class Tracer {
+ public:
+  static constexpr size_t kDefaultCapacity = 1 << 16;
+
+  // `sim` supplies virtual time for every record; not owned, must outlive
+  // the tracer.
+  explicit Tracer(const Simulator* sim, size_t capacity = kDefaultCapacity);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  SimTime now() const;
+
+  // A span that started at virtual time `start` and ends now.
+  void Complete(SimTime start, std::string name, std::string category, uint64_t track,
+                TraceArgs args = {});
+  // A point event at the current virtual time.
+  void Instant(std::string name, std::string category, uint64_t track, TraceArgs args = {});
+  // Opens an async span; returns the id to close it with.  Async spans may
+  // overlap and cross simulator events.
+  uint64_t BeginSpan(std::string name, std::string category, uint64_t track,
+                     TraceArgs args = {});
+  // Closes the async span `id` opened by BeginSpan (same name/category).
+  void EndSpan(uint64_t id, std::string name, std::string category, uint64_t track,
+               TraceArgs args = {});
+  // Samples a counter series at the current virtual time.
+  void CounterSample(std::string name, uint64_t track, double value);
+
+  // Overrides the default display name for a track.
+  void SetTrackName(uint64_t track, std::string name);
+
+  size_t size() const { return events_.size(); }
+  size_t capacity() const { return capacity_; }
+  // Records overwritten because the ring filled.
+  uint64_t dropped() const { return dropped_; }
+
+  // True if any retained record's name or category equals `needle` — the
+  // cheap way for examples/tests to assert a layer showed up.
+  bool Contains(std::string_view needle) const;
+
+  std::string ToChromeJson() const;
+  bool WriteChromeJsonFile(const std::string& path) const;
+
+ private:
+  enum class Phase { kComplete, kInstant, kAsyncBegin, kAsyncEnd, kCounter };
+
+  struct Record {
+    SimTime ts = 0;
+    SimDuration dur = 0;  // kComplete only.
+    Phase phase = Phase::kInstant;
+    uint64_t track = 0;
+    uint64_t async_id = 0;  // kAsyncBegin / kAsyncEnd only.
+    uint64_t seq = 0;       // Insertion order; stable export tie-break.
+    std::string name;
+    std::string category;
+    TraceArgs args;
+  };
+
+  void Push(Record record);
+
+  const Simulator* sim_;
+  size_t capacity_;
+  std::vector<Record> events_;  // Ring: oldest at `head_` once full.
+  size_t head_ = 0;
+  uint64_t dropped_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_async_id_ = 1;
+  std::map<uint64_t, std::string> track_names_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_OBS_TRACE_H_

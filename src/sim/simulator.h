@@ -16,6 +16,7 @@
 #include <queue>
 #include <vector>
 
+#include "src/obs/observability.h"
 #include "src/sim/time.h"
 
 namespace publishing {
@@ -39,12 +40,33 @@ class Simulator {
 
   SimTime Now() const { return now_; }
 
+  // Resolves the event-loop instruments (counts + queue-depth gauge).  The
+  // default null Observability detaches them; instrumentation then costs a
+  // null check per event.
+  void SetObservability(const Observability& obs) {
+    if (obs.metrics != nullptr) {
+      events_scheduled_ = obs.metrics->GetCounter("sim.events_scheduled");
+      events_fired_ = obs.metrics->GetCounter("sim.events_fired");
+      events_cancelled_ = obs.metrics->GetCounter("sim.events_cancelled");
+      queue_depth_ = obs.metrics->GetGauge("sim.queue_depth");
+    } else {
+      events_scheduled_ = nullptr;
+      events_fired_ = nullptr;
+      events_cancelled_ = nullptr;
+      queue_depth_ = nullptr;
+    }
+  }
+
   // Schedules `action` to run at absolute time `when` (>= Now()).
   EventId ScheduleAt(SimTime when, Action action) {
     assert(when >= now_ && "cannot schedule into the past");
     EventId id{++next_id_};
     queue_.push(Event{when, id.value, std::move(action)});
     ++pending_;
+    if (events_scheduled_ != nullptr) {
+      events_scheduled_->Add(1);
+      queue_depth_->Set(static_cast<double>(pending_));
+    }
     return id;
   }
 
@@ -71,6 +93,10 @@ class Simulator {
     }
     cancelled_[id.value] = true;
     --pending_;
+    if (events_cancelled_ != nullptr) {
+      events_cancelled_->Add(1);
+      queue_depth_->Set(static_cast<double>(pending_));
+    }
     return true;
   }
 
@@ -86,6 +112,10 @@ class Simulator {
       --pending_;
       assert(ev.when >= now_);
       now_ = ev.when;
+      if (events_fired_ != nullptr) {
+        events_fired_->Add(1);
+        queue_depth_->Set(static_cast<double>(pending_));
+      }
       ev.action();
       return true;
     }
@@ -151,6 +181,13 @@ class Simulator {
   std::priority_queue<Event> queue_;
   std::vector<bool> cancelled_;
   std::vector<bool> fired_;
+
+  // Observability handles (null = detached).  All four are resolved together,
+  // so checking one suffices on each path.
+  Counter* events_scheduled_ = nullptr;
+  Counter* events_fired_ = nullptr;
+  Counter* events_cancelled_ = nullptr;
+  Gauge* queue_depth_ = nullptr;
 };
 
 // Re-arms itself every `period` until stopped.  Used for watchdog "are you

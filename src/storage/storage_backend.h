@@ -19,12 +19,17 @@
 
 #include "src/common/serialization.h"
 #include "src/common/status.h"
+#include "src/obs/observability.h"
 
 namespace publishing {
 
 class StorageBackend {
  public:
   virtual ~StorageBackend() = default;
+
+  // Resolves the backend's instruments (storage.* series).  The default
+  // backend-less / in-memory configuration ignores it.
+  virtual void SetObservability(const Observability& obs) { (void)obs; }
 
   // Journals one mutation record.  `now` is the caller's clock reading in
   // virtual-time nanoseconds (0 when no clock is attached); backends may use

@@ -49,6 +49,28 @@ Wal::~Wal() {
   }
 }
 
+void Wal::SetObservability(const Observability& obs) {
+  tracer_ = obs.tracer;
+  if (obs.metrics != nullptr) {
+    obs_appends_ = obs.metrics->GetCounter("storage.appends");
+    obs_bytes_appended_ = obs.metrics->GetCounter("storage.bytes_appended");
+    obs_syncs_ = obs.metrics->GetCounter("storage.syncs");
+    obs_segments_created_ = obs.metrics->GetCounter("storage.segments_created");
+    obs_compactions_ = obs.metrics->GetCounter("storage.compactions");
+    obs_batch_ = obs.metrics->GetHistogram("storage.group_commit_batch");
+    obs_wal_bytes_ = obs.metrics->GetGauge("storage.wal_bytes");
+    obs_wal_bytes_->Set(static_cast<double>(TotalBytes()));
+  } else {
+    obs_appends_ = nullptr;
+    obs_bytes_appended_ = nullptr;
+    obs_syncs_ = nullptr;
+    obs_segments_created_ = nullptr;
+    obs_compactions_ = nullptr;
+    obs_batch_ = nullptr;
+    obs_wal_bytes_ = nullptr;
+  }
+}
+
 Result<std::unique_ptr<Wal>> Wal::Open(WalOptions options) {
   std::unique_ptr<Wal> wal(new Wal(std::move(options)));
   Status status = wal->OpenDirectory();
@@ -132,6 +154,9 @@ Status Wal::RollSegment() {
   }
   ++next_seq_;
   ++stats_.segments_created;
+  if (obs_segments_created_ != nullptr) {
+    obs_segments_created_->Add(1);
+  }
   return Status::Ok();
 }
 
@@ -149,7 +174,15 @@ Status Wal::Append(std::span<const uint8_t> record, uint64_t now) {
   }
   ++stats_.records_appended;
   stats_.bytes_appended += record.size();
+  if (obs_appends_ != nullptr) {
+    obs_appends_->Add(1);
+    obs_bytes_appended_->Add(record.size());
+    obs_wal_bytes_->Set(static_cast<double>(TotalBytes()));
+  }
   ++pending_records_;
+  if (pending_records_ == 1) {
+    window_open_now_ = now;
+  }
   const bool count_due = pending_records_ >= options_.group_commit_records;
   const bool time_due = options_.group_commit_interval != 0 && now != 0 &&
                         now - last_sync_now_ >= options_.group_commit_interval;
@@ -171,8 +204,20 @@ Status Wal::Sync() {
   if (!status.ok()) {
     return status;
   }
+  const uint64_t batch = pending_records_;
   pending_records_ = 0;
   ++stats_.syncs;
+  if (obs_syncs_ != nullptr) {
+    obs_syncs_->Add(1);
+    obs_batch_->Observe(static_cast<double>(batch));
+  }
+  if (tracer_ != nullptr) {
+    // The group-commit window: first staged record to the fsync that made
+    // the batch durable.
+    tracer_->Complete(static_cast<SimTime>(window_open_now_), "storage.group_commit",
+                      "storage", obs_track::kStorage,
+                      {{"records", std::to_string(batch)}});
+  }
   return Status::Ok();
 }
 
@@ -246,6 +291,15 @@ bool Wal::CompactNow() {
   const size_t after = TotalBytes();
   stats_.compaction_bytes_reclaimed += before > after ? before - after : 0;
   baseline_bytes_ = std::max(after, options_.compactor.min_bytes);
+  if (obs_compactions_ != nullptr) {
+    obs_compactions_->Add(1);
+    obs_wal_bytes_->Set(static_cast<double>(after));
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("storage.compaction", "storage", obs_track::kStorage,
+                     {{"bytes_before", std::to_string(before)},
+                      {"bytes_after", std::to_string(after)}});
+  }
   return true;
 }
 

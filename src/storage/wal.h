@@ -75,6 +75,7 @@ class Wal : public StorageBackend {
   void SetSnapshotSource(std::function<std::vector<Bytes>()> source) override {
     snapshot_source_ = std::move(source);
   }
+  void SetObservability(const Observability& obs) override;
 
   // Total on-disk bytes across all segments (staged bytes included).
   size_t TotalBytes() const;
@@ -113,6 +114,17 @@ class Wal : public StorageBackend {
   size_t baseline_bytes_ = 0;  // Size after open / last compaction.
   std::function<std::vector<Bytes>()> snapshot_source_;
   WalStats stats_;
+
+  // Observability handles (null = detached).
+  Tracer* tracer_ = nullptr;
+  Counter* obs_appends_ = nullptr;
+  Counter* obs_bytes_appended_ = nullptr;
+  Counter* obs_syncs_ = nullptr;
+  Counter* obs_segments_created_ = nullptr;
+  Counter* obs_compactions_ = nullptr;
+  Histogram* obs_batch_ = nullptr;
+  Gauge* obs_wal_bytes_ = nullptr;
+  uint64_t window_open_now_ = 0;  // Virtual time the pending batch opened.
 };
 
 // Path of segment `seq` inside `dir` ("<dir>/wal-<seq, zero padded>.seg").

@@ -15,6 +15,27 @@ TransportEndpoint::TransportEndpoint(Simulator* sim, Medium* medium, NodeId node
 
 TransportEndpoint::~TransportEndpoint() { medium_->Detach(node_); }
 
+void TransportEndpoint::SetObservability(const Observability& obs) {
+  tracer_ = obs.tracer;
+  if (obs.metrics != nullptr) {
+    obs_data_sent_ = obs.metrics->GetCounter("transport.data_sent");
+    obs_data_delivered_ = obs.metrics->GetCounter("transport.data_delivered");
+    obs_acks_sent_ = obs.metrics->GetCounter("transport.acks_sent");
+    obs_retransmits_ = obs.metrics->GetCounter("transport.retransmits");
+    obs_dup_hits_ = obs.metrics->GetCounter("transport.dup_cache_hits");
+    obs_corrupt_dropped_ = obs.metrics->GetCounter("transport.corrupt_dropped");
+    obs_ack_latency_ = obs.metrics->GetHistogram("transport.ack_latency_ms");
+  } else {
+    obs_data_sent_ = nullptr;
+    obs_data_delivered_ = nullptr;
+    obs_acks_sent_ = nullptr;
+    obs_retransmits_ = nullptr;
+    obs_dup_hits_ = nullptr;
+    obs_corrupt_dropped_ = nullptr;
+    obs_ack_latency_ = nullptr;
+  }
+}
+
 void TransportEndpoint::Send(Packet packet) {
   packet.header.src_node = node_;
   if (!packet.header.guaranteed()) {
@@ -26,6 +47,9 @@ void TransportEndpoint::Send(Packet packet) {
     frame.type = packet.header.control() ? FrameType::kControl : FrameType::kData;
     frame.payload = LinkWrap(SerializePacket(packet));
     ++stats_.data_sent;
+    if (obs_data_sent_ != nullptr) {
+      obs_data_sent_->Add(1);
+    }
     medium_->Send(std::move(frame));
     return;
   }
@@ -60,6 +84,12 @@ void TransportEndpoint::TrySendNext() {
     inflight.packet = std::move(*it);
     it = send_queue_.erase(it);
     inflight.timeout = options_.retransmit_timeout;
+    inflight.first_sent = sim_->Now();
+    if (tracer_ != nullptr) {
+      inflight.span_id = tracer_->BeginSpan(
+          "transport.rtt", "transport", obs_track::kTransport,
+          {{"dst_node", std::to_string(inflight.packet.header.dst_node.value)}});
+    }
     in_flight_.push_back(std::move(inflight));
     TransmitInFlight(in_flight_.size() - 1);
   }
@@ -74,6 +104,9 @@ void TransportEndpoint::TransmitInFlight(size_t index) {
       inflight.packet.header.control() ? FrameType::kControl : FrameType::kData;
   frame.payload = LinkWrap(SerializePacket(inflight.packet));
   ++stats_.data_sent;
+  if (obs_data_sent_ != nullptr) {
+    obs_data_sent_->Add(1);
+  }
   medium_->Send(std::move(frame));
 
   const MessageId id = inflight.packet.header.id;
@@ -87,6 +120,14 @@ void TransportEndpoint::OnRetransmitTimer(MessageId id) {
   for (size_t i = 0; i < in_flight_.size(); ++i) {
     if (in_flight_[i].packet.header.id == id) {
       ++stats_.retransmits;
+      if (obs_retransmits_ != nullptr) {
+        obs_retransmits_->Add(1);
+      }
+      if (tracer_ != nullptr) {
+        tracer_->Instant("transport.retransmit", "transport", obs_track::kTransport,
+                         {{"dst_node",
+                           std::to_string(in_flight_[i].packet.header.dst_node.value)}});
+      }
       in_flight_[i].timeout =
           std::min(in_flight_[i].timeout * 2, options_.max_retransmit_timeout);
       TransmitInFlight(i);
@@ -106,13 +147,13 @@ void TransportEndpoint::OnFrame(const Frame& frame) {
   }
   auto body = LinkUnwrap(payload);
   if (!body.ok()) {
-    ++stats_.corrupt_dropped;
+    NoteCorruptDropped();
     return;
   }
   if (frame.type == FrameType::kAck) {
     auto ack = ParseAck(*body);
     if (!ack.ok()) {
-      ++stats_.corrupt_dropped;
+      NoteCorruptDropped();
       return;
     }
     if (ack->to == node_) {
@@ -122,7 +163,7 @@ void TransportEndpoint::OnFrame(const Frame& frame) {
   }
   auto packet = ParsePacket(*body);
   if (!packet.ok()) {
-    ++stats_.corrupt_dropped;
+    NoteCorruptDropped();
     return;
   }
   if (packet->header.dst_node == node_ || packet->header.dst_node == kBroadcastNode) {
@@ -140,16 +181,25 @@ void TransportEndpoint::HandleData(const Packet& packet) {
     frame.type = FrameType::kAck;
     frame.payload = LinkWrap(SerializeAck(ack));
     ++stats_.acks_sent;
+    if (obs_acks_sent_ != nullptr) {
+      obs_acks_sent_->Add(1);
+    }
     medium_->Send(std::move(frame));
   }
   if (!packet.header.replay()) {
     if (SeenId(packet.header.id)) {
       ++stats_.duplicates_suppressed;
+      if (obs_dup_hits_ != nullptr) {
+        obs_dup_hits_->Add(1);
+      }
       return;
     }
     RememberId(packet.header.id);
   }
   ++stats_.data_delivered;
+  if (obs_data_delivered_ != nullptr) {
+    obs_data_delivered_->Add(1);
+  }
   deliver_(packet);
 }
 
@@ -157,10 +207,24 @@ void TransportEndpoint::HandleAck(const AckPacket& ack) {
   for (auto it = in_flight_.begin(); it != in_flight_.end(); ++it) {
     if (it->packet.header.id == ack.acked) {
       sim_->Cancel(it->timer);
+      if (obs_ack_latency_ != nullptr) {
+        obs_ack_latency_->Observe(ToMillis(sim_->Now() - it->first_sent));
+      }
+      if (tracer_ != nullptr && it->span_id != 0) {
+        tracer_->EndSpan(it->span_id, "transport.rtt", "transport",
+                         obs_track::kTransport);
+      }
       in_flight_.erase(it);
       TrySendNext();
       return;
     }
+  }
+}
+
+void TransportEndpoint::NoteCorruptDropped() {
+  ++stats_.corrupt_dropped;
+  if (obs_corrupt_dropped_ != nullptr) {
+    obs_corrupt_dropped_->Add(1);
   }
 }
 

@@ -90,11 +90,18 @@ class TransportEndpoint : public Station {
 
   const TransportStats& stats() const { return stats_; }
 
+  // Resolves the shared transport instruments (all endpoints aggregate into
+  // the same `transport.*` series) and keeps the tracer for per-packet
+  // round-trip spans.  Null members detach.
+  void SetObservability(const Observability& obs);
+
  private:
   struct InFlight {
     Packet packet;
     SimDuration timeout;
     EventId timer;
+    SimTime first_sent = 0;  // For the ack-latency histogram.
+    uint64_t span_id = 0;    // Open transport.rtt async span, 0 = none.
   };
 
   void TrySendNext();
@@ -102,6 +109,7 @@ class TransportEndpoint : public Station {
   void OnRetransmitTimer(MessageId id);
   void HandleData(const Packet& packet);
   void HandleAck(const AckPacket& ack);
+  void NoteCorruptDropped();
   void RememberId(const MessageId& id);
   bool SeenId(const MessageId& id) const;
 
@@ -117,6 +125,16 @@ class TransportEndpoint : public Station {
   std::unordered_set<MessageId> dup_cache_;
   std::deque<MessageId> dup_order_;     // FIFO eviction for the cache.
   TransportStats stats_;
+
+  // Observability handles (null = detached).
+  Tracer* tracer_ = nullptr;
+  Counter* obs_data_sent_ = nullptr;
+  Counter* obs_data_delivered_ = nullptr;
+  Counter* obs_acks_sent_ = nullptr;
+  Counter* obs_retransmits_ = nullptr;
+  Counter* obs_dup_hits_ = nullptr;
+  Counter* obs_corrupt_dropped_ = nullptr;
+  Histogram* obs_ack_latency_ = nullptr;
 };
 
 }  // namespace publishing

@@ -1,0 +1,419 @@
+// Tests for src/obs: registry semantics, label handling, trace export
+// well-formedness, ring-buffer bounds, and the two system-level guarantees
+// the subsystem makes — identical runs serialize byte-identically, and an
+// uninstrumented run behaves bit-identically to an instrumented one.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <string>
+
+#include "src/core/publishing_system.h"
+#include "src/obs/metrics.h"
+#include "src/obs/observability.h"
+#include "src/obs/trace.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A minimal JSON validator for the subset src/obs emits: objects, arrays,
+// strings (with escapes), and numbers.  Enough to catch unbalanced braces,
+// trailing commas, and unescaped quotes.
+// ---------------------------------------------------------------------------
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(std::string_view text) : text_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) {
+      return false;
+    }
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+ private:
+  void SkipWs() {
+    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
+                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Value() {
+    if (pos_ >= text_.size()) {
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{':
+        return Object();
+      case '[':
+        return Array();
+      case '"':
+        return String();
+      default:
+        return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        return false;
+      }
+      ++pos_;
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!Value()) {
+        return false;
+      }
+      SkipWs();
+      if (pos_ >= text_.size()) {
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') {
+      return false;
+    }
+    ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '\\') {
+        pos_ += 2;
+        continue;
+      }
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      ++pos_;
+    }
+    return false;
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
+            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
+            text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Registry semantics
+// ---------------------------------------------------------------------------
+
+TEST(MetricsRegistry, CounterGaugeHistogramBasics) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("a.count");
+  c->Add();
+  c->Add(41);
+  EXPECT_EQ(c->value(), 42u);
+
+  Gauge* g = registry.GetGauge("a.gauge");
+  g->Set(2.5);
+  g->Add(-0.5);
+  EXPECT_DOUBLE_EQ(g->value(), 2.0);
+
+  Histogram* h = registry.GetHistogram("a.hist");
+  h->Observe(1.0);
+  h->Observe(3.0);
+  EXPECT_EQ(h->stats().count(), 2u);
+  EXPECT_DOUBLE_EQ(h->stats().mean(), 2.0);
+}
+
+TEST(MetricsRegistry, LookupReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  // Force rebalancing of the underlying map with many more instruments.
+  for (int i = 0; i < 100; ++i) {
+    registry.GetCounter("x" + std::to_string(i));
+  }
+  EXPECT_EQ(registry.GetCounter("x"), a);
+}
+
+TEST(MetricsRegistry, LabelsDistinguishInstrumentsAndSortInKey) {
+  MetricsRegistry registry;
+  Counter* eth = registry.GetCounter("net.frames", {{"medium", "ethernet"}});
+  Counter* ring = registry.GetCounter("net.frames", {{"medium", "token_ring"}});
+  EXPECT_NE(eth, ring);
+  // Label order must not matter: the key canonicalizes by sorting.
+  EXPECT_EQ(MetricKey("m", {{"b", "2"}, {"a", "1"}}), "m{a=1,b=2}");
+  EXPECT_EQ(MetricKey("m", {}), "m");
+  Counter* ab = registry.GetCounter("k", {{"b", "2"}, {"a", "1"}});
+  Counter* ba = registry.GetCounter("k", {{"a", "1"}, {"b", "2"}});
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(MetricsRegistry, JsonAndCsvAreWellFormed) {
+  MetricsRegistry registry;
+  registry.GetCounter("c.one")->Add(7);
+  registry.GetGauge("g.two", {{"k", "v"}})->Set(0.25);
+  Histogram* h = registry.GetHistogram("h.three");
+  for (int i = 1; i <= 10; ++i) {
+    h->Observe(static_cast<double>(i));
+  }
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"c.one\":7"), std::string::npos) << json;
+  EXPECT_NE(json.find("g.two{k=v}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+
+  const std::string csv = registry.ToCsv();
+  EXPECT_NE(csv.find("metric,stat,value"), std::string::npos);
+  EXPECT_NE(csv.find("c.one"), std::string::npos);
+}
+
+TEST(Metrics, FormatMetricValueIsDeterministic) {
+  EXPECT_EQ(FormatMetricValue(7.0), "7");
+  EXPECT_EQ(FormatMetricValue(0.5), "0.5");
+  EXPECT_EQ(FormatMetricValue(-3.0), "-3");
+  // NaN (empty histogram stats) serializes as 0, not "nan".
+  EXPECT_EQ(FormatMetricValue(std::nan("")), "0");
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+// ---------------------------------------------------------------------------
+
+TEST(Tracer, RecordsSpansAndExportsValidChromeJson) {
+  Simulator sim;
+  Tracer tracer(&sim);
+  sim.ScheduleAt(Millis(1), [&] {
+    tracer.Instant("boot", "sim", obs_track::kSim);
+  });
+  uint64_t span = 0;
+  sim.ScheduleAt(Millis(2), [&] {
+    span = tracer.BeginSpan("work", "sim", obs_track::kSim, {{"k", "v"}});
+  });
+  sim.ScheduleAt(Millis(5), [&] {
+    tracer.EndSpan(span, "work", "sim", obs_track::kSim);
+    tracer.Complete(Millis(4), "tail", "sim", obs_track::kSim);
+    tracer.CounterSample("depth", obs_track::kSim, 3);
+  });
+  sim.Run();
+
+  EXPECT_EQ(tracer.size(), 5u);
+  EXPECT_TRUE(tracer.Contains("work"));
+  EXPECT_FALSE(tracer.Contains("nonexistent"));
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"b\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("thread_name"), std::string::npos);
+}
+
+TEST(Tracer, RingBufferBoundsMemoryAndCountsDrops) {
+  Simulator sim;
+  Tracer tracer(&sim, /*capacity=*/16);
+  for (int i = 0; i < 100; ++i) {
+    tracer.Instant("e" + std::to_string(i), "sim", obs_track::kSim);
+  }
+  EXPECT_EQ(tracer.size(), 16u);
+  EXPECT_EQ(tracer.dropped(), 84u);
+  // Oldest events were overwritten; the newest survive.
+  EXPECT_FALSE(tracer.Contains("e0"));
+  EXPECT_TRUE(tracer.Contains("e99"));
+  EXPECT_TRUE(JsonChecker(tracer.ToChromeJson()).Valid());
+}
+
+// ---------------------------------------------------------------------------
+// System-level: determinism and behaviour equivalence
+// ---------------------------------------------------------------------------
+
+struct InstrumentedRun {
+  std::string metrics_json;
+  std::string trace_json;
+  uint64_t messages_published = 0;
+  uint64_t data_delivered = 0;
+  SimTime end_time = 0;
+};
+
+InstrumentedRun RunPingPong(bool instrument, bool crash) {
+  // Sinks before the system: attached components hold raw pointers into
+  // them until destruction, so the sinks must outlive the system.
+  MetricsRegistry registry;
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+
+  Tracer tracer(&system.sim());
+  if (instrument) {
+    Observability obs;
+    obs.metrics = &registry;
+    obs.tracer = &tracer;
+    system.EnableObservability(obs);
+  }
+
+  system.cluster().registry().Register("echo",
+                                       [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(40); });
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  auto pinger = system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+  system.RunFor(Seconds(2));
+  if (crash) {
+    EXPECT_TRUE(system.CrashProcess(*echo).ok());
+    EXPECT_TRUE(system.RunUntilRecovered(*echo, Seconds(30)));
+    system.RunFor(Seconds(2));
+  }
+  (void)pinger;
+
+  InstrumentedRun run;
+  run.metrics_json = registry.ToJson();
+  run.trace_json = tracer.ToChromeJson();
+  run.messages_published = system.recorder().stats().messages_published;
+  run.data_delivered = system.recorder().endpoint().stats().data_delivered;
+  run.end_time = system.sim().Now();
+  return run;
+}
+
+TEST(ObservabilityIntegration, IdenticalRunsSerializeByteIdentically) {
+  InstrumentedRun a = RunPingPong(/*instrument=*/true, /*crash=*/true);
+  InstrumentedRun b = RunPingPong(/*instrument=*/true, /*crash=*/true);
+  EXPECT_GT(a.messages_published, 0u);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+}
+
+TEST(ObservabilityIntegration, InstrumentationDoesNotChangeBehaviour) {
+  InstrumentedRun with = RunPingPong(/*instrument=*/true, /*crash=*/true);
+  InstrumentedRun without = RunPingPong(/*instrument=*/false, /*crash=*/true);
+  EXPECT_EQ(with.messages_published, without.messages_published);
+  EXPECT_EQ(with.data_delivered, without.data_delivered);
+  EXPECT_EQ(with.end_time, without.end_time);
+}
+
+TEST(ObservabilityIntegration, MetricsCoverEveryLayerAndMatchLegacyStats) {
+  InstrumentedRun run = RunPingPong(/*instrument=*/true, /*crash=*/false);
+  EXPECT_NE(run.metrics_json.find("sim.events_fired"), std::string::npos);
+  EXPECT_NE(run.metrics_json.find("net.frames_sent{medium=ack_ethernet}"),
+            std::string::npos);
+  EXPECT_NE(run.metrics_json.find("transport.data_delivered"), std::string::npos);
+  EXPECT_NE(run.metrics_json.find("recorder.messages_published"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(run.metrics_json).Valid());
+}
+
+TEST(ObservabilityIntegration, TraceCapturesRecoveryTimeline) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+  MetricsRegistry registry;
+  Tracer tracer(&system.sim());
+  Observability obs;
+  obs.metrics = &registry;
+  obs.tracer = &tracer;
+  system.EnableObservability(obs);
+
+  system.cluster().registry().Register("echo",
+                                       [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(20); });
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+  system.RunFor(Seconds(1));
+  ASSERT_TRUE(system.CrashProcess(*echo).ok());
+  ASSERT_TRUE(system.RunUntilRecovered(*echo, Seconds(30)));
+
+  EXPECT_TRUE(tracer.Contains("recovery.crash_notice"));
+  EXPECT_TRUE(tracer.Contains("recovery.process"));
+  EXPECT_TRUE(tracer.Contains("recovery.replay"));
+  EXPECT_TRUE(tracer.Contains("recovery.caught_up"));
+  EXPECT_TRUE(tracer.Contains("net.transmit"));
+  EXPECT_TRUE(tracer.Contains("transport.rtt"));
+  EXPECT_TRUE(tracer.Contains("recorder.publish"));
+  EXPECT_EQ(registry.GetCounter("recovery.completed")->value(), 1u);
+}
+
+TEST(ObservabilityIntegration, DetachingResetsToNullObject) {
+  PublishingSystemConfig config;
+  config.cluster.node_count = 2;
+  config.cluster.start_system_processes = false;
+  PublishingSystem system(config);
+  MetricsRegistry registry;
+  Observability obs;
+  obs.metrics = &registry;
+  system.EnableObservability(obs);
+  system.EnableObservability(Observability{});  // Detach.
+
+  system.cluster().registry().Register("echo",
+                                       [] { return std::make_unique<EchoProgram>(); });
+  system.cluster().registry().Register("pinger",
+                                       [] { return std::make_unique<PingerProgram>(5); });
+  auto echo = system.cluster().Spawn(NodeId{2}, "echo");
+  system.cluster().Spawn(NodeId{1}, "pinger", {Link{*echo, 1, 0, 0}});
+  system.RunFor(Seconds(1));
+  // The registry saw nothing after the detach (instruments exist from the
+  // first attach but hold no samples).
+  EXPECT_EQ(registry.GetCounter("recorder.messages_published")->value(), 0u);
+  EXPECT_GT(system.recorder().stats().messages_published, 0u);
+}
+
+}  // namespace
+}  // namespace publishing
