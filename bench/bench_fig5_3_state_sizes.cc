@@ -14,7 +14,7 @@
 namespace publishing {
 namespace {
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("Figure 5.3: State Sizes for UNIX Processes");
   std::printf("  %-14s %12s %14s\n", "state size", "fraction", "sampled (n=1e5)");
   PrintRule();
@@ -36,11 +36,15 @@ void PrintTables() {
   }
   for (size_t b = 0; b < StateSizeDistribution().size(); ++b) {
     const StateSizeBucket& bucket = StateSizeDistribution()[b];
+    const double sampled = 100.0 * static_cast<double>(counts[b]) / kSamples;
     std::printf("  %10zu KB %11.0f%% %13.1f%%\n", bucket.bytes / 1024, bucket.fraction * 100,
-                100.0 * static_cast<double>(counts[b]) / kSamples);
+                sampled);
+    json.Set("sampled_fraction." + std::to_string(bucket.bytes / 1024) + "kb",
+             sampled / 100.0);
   }
   PrintRule();
   std::printf("  mean state size: %.1f KB\n\n", MeanStateBytes() / 1024.0);
+  json.Set("mean_state_bytes", MeanStateBytes());
 }
 
 void BM_SampleStateSizes(benchmark::State& state) {
@@ -55,7 +59,9 @@ BENCHMARK(BM_SampleStateSizes);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("fig5_3_state_sizes");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -10,7 +10,7 @@
 namespace publishing {
 namespace {
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("Figure 5.2: Hardware Parameters for the Queuing Model");
   HardwareParams hw;
   std::printf("  %-42s %8.1f ms\n", "Ethernet interface interpacket delay",
@@ -44,6 +44,9 @@ void PrintTables() {
     AnalyticUtilizations u = ComputeAnalyticUtilizations(config);
     std::printf("  %-18s %9.1f%% %9.1f%% %9.1f%%\n", op.name.c_str(), 100 * u.network,
                 100 * u.cpu, 100 * u.disk);
+    json.Set(op.name + ".network_utilization", u.network);
+    json.Set(op.name + ".cpu_utilization", u.cpu);
+    json.Set(op.name + ".disk_utilization", u.disk);
   }
   std::printf("\n");
 }
@@ -63,7 +66,9 @@ BENCHMARK(BM_AnalyticUtilizations);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("fig5_4_operating_points");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -112,10 +112,19 @@ Measurement Measure(bool with_publishing, bool node_unit = false) {
   return m;
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   Measurement with = Measure(true);
   Measurement without = Measure(false);
   Measurement node_unit = Measure(true, /*node_unit=*/true);
+  json.Set("with_publishing.real_ms_per_msg", with.real_ms_per_msg);
+  json.Set("with_publishing.cpu_ms_per_msg", with.cpu_ms_per_msg);
+  json.Set("with_publishing.wire_frames", static_cast<double>(with.wire_frames));
+  json.Set("without_publishing.real_ms_per_msg", without.real_ms_per_msg);
+  json.Set("without_publishing.cpu_ms_per_msg", without.cpu_ms_per_msg);
+  json.Set("node_unit.real_ms_per_msg", node_unit.real_ms_per_msg);
+  json.Set("node_unit.cpu_ms_per_msg", node_unit.cpu_ms_per_msg);
+  json.Set("overhead.real_ms_per_msg", with.real_ms_per_msg - without.real_ms_per_msg);
+  json.Set("overhead.cpu_ms_per_msg", with.cpu_ms_per_msg - without.cpu_ms_per_msg);
 
   PrintHeader("Figure 5.7: Per Message Overheads (times per intranode send/receive)");
   std::printf("  %-26s %14s %14s %12s\n", "", "realTime (ms)", "cpuTime (ms)", "wire frames");
@@ -147,7 +156,9 @@ BENCHMARK(BM_PerMessageWithPublishing)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("fig5_7_per_message");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -111,9 +111,15 @@ Measurement Measure(bool with_publishing) {
   return m;
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   Measurement with = Measure(true);
   Measurement without = Measure(false);
+  json.Set("with_publishing.total_cpu_ms", with.total_cpu_ms);
+  json.Set("with_publishing.per_pair_ms", with.per_pair_ms);
+  json.Set("without_publishing.total_cpu_ms", without.total_cpu_ms);
+  json.Set("without_publishing.per_pair_ms", without.per_pair_ms);
+  json.Set("cpu_ratio",
+           without.total_cpu_ms > 0 ? with.total_cpu_ms / without.total_cpu_ms : 0.0);
 
   PrintHeader("Figure 5.8: Per Process Overheads (create+destroy a null process, 25x)");
   std::printf("  %-22s %16s %14s %12s\n", "", "total CPU (ms)", "per pair (ms)", "wire frames");
@@ -138,7 +144,9 @@ BENCHMARK(BM_CreateDestroyWithPublishing)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("fig5_8_per_process");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -89,14 +89,15 @@ LoadResult RunLoad(bool acknowledging, double rate_per_node, SimDuration duratio
   return result;
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   struct Scenario {
     const char* name;
+    const char* key;
     double rate;
   };
   const Scenario scenarios[] = {
-      {"lightly loaded (Fig 6.1)", 10.0},
-      {"heavily loaded (Fig 6.2)", 70.0},
+      {"lightly loaded (Fig 6.1)", "light", 10.0},
+      {"heavily loaded (Fig 6.2)", "heavy", 70.0},
   };
   for (const Scenario& scenario : scenarios) {
     PrintHeader(std::string("Ethernet vs Acknowledging Ethernet — ") + scenario.name);
@@ -111,6 +112,13 @@ void PrintTables() {
     std::printf("  %-24s %18.3f %16.2f %12llu\n", "Acknowledging Ethernet",
                 acking.collisions_per_data_frame, acking.mean_queue_delay_ms,
                 static_cast<unsigned long long>(acking.delivered));
+    const std::string prefix(scenario.key);
+    json.Set(prefix + ".plain.collisions_per_frame", plain.collisions_per_data_frame);
+    json.Set(prefix + ".plain.queue_delay_ms", plain.mean_queue_delay_ms);
+    json.Set(prefix + ".plain.delivered", static_cast<double>(plain.delivered));
+    json.Set(prefix + ".acking.collisions_per_frame", acking.collisions_per_data_frame);
+    json.Set(prefix + ".acking.queue_delay_ms", acking.mean_queue_delay_ms);
+    json.Set(prefix + ".acking.delivered", static_cast<double>(acking.delivered));
   }
   std::printf("\n  paper shape: under light load the two behave alike; under heavy load\n"
               "  the standard Ethernet wastes bandwidth on ack collisions while the\n"
@@ -128,7 +136,9 @@ BENCHMARK(BM_HeavyLoadAcknowledging)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("fig6_ether_ack");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -36,7 +36,7 @@ class CountingListener : public PromiscuousListener {
   uint64_t seen_ = 0;
 };
 
-void PrintLatencyByPosition() {
+void PrintLatencyByPosition(BenchJson& json) {
   PrintHeader("Token ring: delivery latency vs destination position (Fig 6.3/6.4)");
   std::printf("  ring: 8 stations, recorder at position 0 (= node 1), sender at node 2\n");
   std::printf("  %8s %16s %18s\n", "dst node", "latency (ms)", "extra rotations");
@@ -69,14 +69,15 @@ void PrintLatencyByPosition() {
     endpoints[2]->Send(std::move(packet));
     sim.RunFor(Seconds(1));
 
-    std::printf("  %8u %16.3f %18llu\n", dst,
-                delivered_at < 0 ? -1.0 : ToMillis(delivered_at - sent_at),
+    const double latency_ms = delivered_at < 0 ? -1.0 : ToMillis(delivered_at - sent_at);
+    std::printf("  %8u %16.3f %18llu\n", dst, latency_ms,
                 static_cast<unsigned long long>(ring.extra_rotations()));
+    json.Set("latency_ms.dst" + std::to_string(dst), latency_ms);
   }
   std::printf("\n");
 }
 
-void PrintVetoBehaviour() {
+void PrintVetoBehaviour(BenchJson& json) {
   PrintHeader("Token ring: recorder checksum-invalidation veto (§6.1.2)");
 
   Simulator sim;
@@ -113,6 +114,9 @@ void PrintVetoBehaviour() {
               static_cast<unsigned long long>(delivered));
   std::printf("  retransmits by sender      : %llu\n\n",
               static_cast<unsigned long long>(endpoints[2]->stats().retransmits));
+  json.Set("veto.frames_vetoed", static_cast<double>(ring.stats().frames_vetoed));
+  json.Set("veto.delivered", static_cast<double>(delivered));
+  json.Set("veto.retransmits", static_cast<double>(endpoints[2]->stats().retransmits));
 }
 
 void BM_TokenRingRoundTrip(benchmark::State& state) {
@@ -128,8 +132,10 @@ BENCHMARK(BM_TokenRingRoundTrip);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintLatencyByPosition();
-  publishing::PrintVetoBehaviour();
+  publishing::BenchJson json("fig6_token_ring");
+  publishing::PrintLatencyByPosition(json);
+  publishing::PrintVetoBehaviour(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -68,29 +68,36 @@ AblationResult RunPolicy(std::unique_ptr<CheckpointPolicy> policy, const char* /
   return result;
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("Checkpoint-policy ablation: 400-ping workload, 4 server crashes");
   std::printf("  %-24s %12s %16s %14s %10s\n", "policy", "checkpoints", "recovery (ms)",
               "finished", "");
   PrintRule();
   struct Row {
     const char* name;
+    const char* key;
     std::function<std::unique_ptr<CheckpointPolicy>()> make;
   };
   const Row rows[] = {
-      {"none (image replay)", [] { return std::unique_ptr<CheckpointPolicy>(); }},
-      {"fixed 50 ms (eager)",
+      {"none (image replay)", "none", [] { return std::unique_ptr<CheckpointPolicy>(); }},
+      {"fixed 50 ms (eager)", "fixed_50ms",
        [] { return std::make_unique<FixedIntervalPolicy>(Millis(50)); }},
-      {"fixed 2 s (lazy)", [] { return std::make_unique<FixedIntervalPolicy>(Seconds(2)); }},
-      {"young (Ts=20ms, Tf=220ms)",
+      {"fixed 2 s (lazy)", "fixed_2s",
+       [] { return std::make_unique<FixedIntervalPolicy>(Seconds(2)); }},
+      {"young (Ts=20ms, Tf=220ms)", "young",
        [] { return std::make_unique<YoungPolicy>(Millis(20), Millis(220)); }},
-      {"storage-balanced", [] { return std::make_unique<StorageBalancedPolicy>(); }},
+      {"storage-balanced", "storage_balanced",
+       [] { return std::make_unique<StorageBalancedPolicy>(); }},
   };
   for (const Row& row : rows) {
     AblationResult result = RunPolicy(row.make(), row.name);
     std::printf("  %-24s %12llu %16.1f %14s\n", row.name,
                 static_cast<unsigned long long>(result.checkpoints), result.mean_recovery_ms,
                 result.finished ? "yes" : "NO");
+    const std::string prefix(row.key);
+    json.Set(prefix + ".checkpoints", static_cast<double>(result.checkpoints));
+    json.Set(prefix + ".mean_recovery_ms", result.mean_recovery_ms);
+    json.Set(prefix + ".finished", result.finished ? 1.0 : 0.0);
   }
   PrintRule();
   std::printf("  shape: more checkpoints -> shorter replay -> faster recovery, at the\n"
@@ -109,7 +116,9 @@ BENCHMARK(BM_PolicyAblationYoung)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("policy_ablation");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -66,7 +66,7 @@ RecoveryRun MeasureRecovery(uint64_t messages_before_crash, bool checkpoint_firs
   return run;
 }
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("End-to-end recovery time vs messages since checkpoint (full stack)");
   std::printf("  %24s %16s %18s\n", "msgs since checkpoint", "replayed", "recovery (ms)");
   PrintRule();
@@ -74,11 +74,14 @@ void PrintTables() {
     RecoveryRun run = MeasureRecovery(messages, /*checkpoint_first=*/false);
     std::printf("  %24llu %16llu %18.1f\n", static_cast<unsigned long long>(messages),
                 static_cast<unsigned long long>(run.replayed), run.recovery_ms);
+    json.Set("recovery_ms.msgs" + std::to_string(messages), run.recovery_ms);
+    json.Set("replayed.msgs" + std::to_string(messages), static_cast<double>(run.replayed));
   }
   PrintRule();
   RecoveryRun fresh = MeasureRecovery(100, /*checkpoint_first=*/true);
   std::printf("  with a checkpoint taken first, 100-message run recovers in %.1f ms\n",
               fresh.recovery_ms);
+  json.Set("recovery_ms.msgs100_checkpointed", fresh.recovery_ms);
   std::printf("  shape check: recovery time is affine in the replayed message count\n"
               "  (the paper's t_max = t_reload + t_mfix*n + t_byte*bytes + t_compute).\n\n");
 }
@@ -94,7 +97,9 @@ BENCHMARK(BM_RecoverFiftyMessages)->Unit(benchmark::kMillisecond);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("recovery_end_to_end");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

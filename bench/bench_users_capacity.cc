@@ -11,7 +11,7 @@
 namespace publishing {
 namespace {
 
-void PrintTables() {
+void PrintTables(BenchJson& json) {
   PrintHeader("Recorder capacity at the mean operating point");
   QueueingConfig config;
   config.op = StandardOperatingPoints()[0];
@@ -31,6 +31,8 @@ void PrintTables() {
   std::printf("  capacity: %zu nodes = %.0f users (binding resource: %s)\n",
               capacity.max_nodes, capacity.max_users, capacity.binding_resource);
   std::printf("  paper   : \"can support a system of up to 115 users\"\n");
+  json.Set("max_nodes", static_cast<double>(capacity.max_nodes));
+  json.Set("max_users", capacity.max_users);
 
   // §6.6.1 ablation: not publishing the traffic of non-recoverable processes
   // ("If these processes were not considered recoverable, the recorder would
@@ -43,6 +45,8 @@ void PrintTables() {
     ablated.non_recoverable_fraction = fraction;
     CapacityEstimate c = EstimateCapacity(ablated);
     std::printf("  %11.0f%% | %10zu %8.0f\n", fraction * 100, c.max_nodes, c.max_users);
+    json.Set("ablation.users_at_" + std::to_string(static_cast<int>(fraction * 100)) + "pct",
+             c.max_users);
   }
   std::printf("\n");
 }
@@ -60,7 +64,9 @@ BENCHMARK(BM_CapacitySearch);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintTables();
+  publishing::BenchJson json("users_capacity");
+  publishing::PrintTables(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

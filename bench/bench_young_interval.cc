@@ -13,7 +13,7 @@
 namespace publishing {
 namespace {
 
-void PrintOptimaTable() {
+void PrintOptimaTable(BenchJson& json) {
   PrintHeader("Young's optimal checkpoint interval: sqrt(2 * T_save * T_mtbf)");
   std::printf("  %14s %14s %18s\n", "T_save", "T_mtbf", "optimal interval");
   PrintRule();
@@ -29,13 +29,17 @@ void PrintOptimaTable() {
       {Seconds(2), Seconds(3600)},
   };
   for (const Case& c : cases) {
+    const double optimal_s = ToSeconds(YoungOptimalInterval(c.save, c.mtbf));
     std::printf("  %11.0f ms %11.0f s %15.1f s\n", ToMillis(c.save), ToSeconds(c.mtbf),
-                ToSeconds(YoungOptimalInterval(c.save, c.mtbf)));
+                optimal_s);
+    json.Set("optimal_s.save" + std::to_string(static_cast<int>(ToMillis(c.save))) +
+                 "ms_mtbf" + std::to_string(static_cast<int>(ToSeconds(c.mtbf))) + "s",
+             optimal_s);
   }
   std::printf("\n");
 }
 
-void PrintOverheadCurve() {
+void PrintOverheadCurve(BenchJson& json) {
   PrintHeader("Expected overhead fraction vs interval (T_save=500ms, MTBF=600s)");
   const SimDuration save = Millis(500);
   const SimDuration mtbf = Seconds(600);
@@ -58,6 +62,9 @@ void PrintOverheadCurve() {
   PrintRule();
   std::printf("  minimum of the sampled curve at %.1f s (Young: %.1f s)\n\n", best_interval,
               ToSeconds(young));
+  json.Set("young_optimum_s", ToSeconds(young));
+  json.Set("sampled_minimum_s", best_interval);
+  json.Set("overhead_at_optimum", YoungExpectedOverheadFraction(young, save, mtbf));
 }
 
 void BM_YoungInterval(benchmark::State& state) {
@@ -71,8 +78,10 @@ BENCHMARK(BM_YoungInterval);
 }  // namespace publishing
 
 int main(int argc, char** argv) {
-  publishing::PrintOptimaTable();
-  publishing::PrintOverheadCurve();
+  publishing::BenchJson json("young_interval");
+  publishing::PrintOptimaTable(json);
+  publishing::PrintOverheadCurve(json);
+  json.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   return 0;

@@ -41,6 +41,7 @@ class Writer {
 
   // Length-prefixed byte string.
   void WriteBytes(std::span<const uint8_t> data) {
+    bytes_.reserve(bytes_.size() + sizeof(uint32_t) + data.size());
     WriteU32(static_cast<uint32_t>(data.size()));
     bytes_.insert(bytes_.end(), data.begin(), data.end());
   }

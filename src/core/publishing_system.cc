@@ -4,6 +4,25 @@
 
 namespace publishing {
 
+namespace {
+// Mirrors the process-wide buffer counters into the metrics registry as they
+// happen.  The hot path still only bumps two uint64s when no sink is
+// installed (the uninstrumented default).
+class CounterBufferSink final : public BufferStatsSink {
+ public:
+  explicit CounterBufferSink(MetricsRegistry* metrics)
+      : bytes_copied_(metrics->GetCounter("buf.bytes_copied")),
+        bytes_shared_(metrics->GetCounter("buf.bytes_shared")) {}
+
+  void OnBufferCopy(uint64_t bytes) override { bytes_copied_->Add(bytes); }
+  void OnBufferShare(uint64_t bytes) override { bytes_shared_->Add(bytes); }
+
+ private:
+  Counter* bytes_copied_;
+  Counter* bytes_shared_;
+};
+}  // namespace
+
 PublishingSystem::PublishingSystem(PublishingSystemConfig config) : config_(std::move(config)) {
   // The recorder and its traffic live on node 0 (Cluster::kRecorderNode).
   config_.recorder.node = Cluster::kRecorderNode;
@@ -85,6 +104,19 @@ void PublishingSystem::EnableObservability(const Observability& obs) {
   recovery_->SetObservability(obs);
   if (config_.storage_backend != nullptr) {
     config_.storage_backend->SetObservability(obs);
+  }
+  // Buffer accounting is process-wide, so the most recently instrumented
+  // system owns the sink; detaching (null metrics) always uninstalls ours.
+  if (obs.metrics != nullptr) {
+    buffer_sink_ = std::make_unique<CounterBufferSink>(obs.metrics);
+    SetBufferStatsSink(buffer_sink_.get());
+  } else if (buffer_sink_ != nullptr) {
+    // Another system instrumented after us may own the global slot by now;
+    // only clear it if it is still ours.
+    if (GetBufferStatsSink() == buffer_sink_.get()) {
+      SetBufferStatsSink(nullptr);
+    }
+    buffer_sink_.reset();
   }
 }
 

@@ -22,6 +22,7 @@
 
 #include <memory>
 
+#include "src/common/buffer.h"
 #include "src/core/checkpoint_policy.h"
 #include "src/core/recorder.h"
 #include "src/core/recovery_manager.h"
@@ -99,6 +100,7 @@ class PublishingSystem {
   std::unique_ptr<RecoveryManager> recovery_;
   std::unique_ptr<CheckpointScheduler> checkpoint_scheduler_;
   std::unique_ptr<PeriodicTask> node_checkpoint_task_;
+  std::unique_ptr<BufferStatsSink> buffer_sink_;
   Observability obs_;
   uint64_t log_time_token_ = 0;
 };

@@ -79,13 +79,14 @@ bool Recorder::OnWireFrame(const Frame& frame) {
   if (!packet.ok()) {
     return false;
   }
-  return RecordParsedPacket(*packet, body->size());
+  return RecordParsedPacket(*packet, *body);
 }
 
-bool Recorder::RecordParsedPacket(const Packet& packet, size_t wire_bytes) {
+bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body) {
   if (down_) {
     return false;
   }
+  const size_t wire_bytes = wire_body.size();
   if (packet.header.replay()) {
     ++stats_.replay_seen;
     return true;  // Recovery injections are already in the log.
@@ -120,12 +121,13 @@ bool Recorder::RecordParsedPacket(const Packet& packet, size_t wire_bytes) {
                       {{"bytes", std::to_string(wire_bytes)},
                        {"dst_node", std::to_string(packet.header.dst_node.value)}});
   }
+  // Append the overheard wire bytes themselves (ParsePacket is the exact
+  // inverse of SerializePacket, so `wire_body` IS the serialized packet):
+  // the log entry shares the frame's storage instead of re-serializing.
   if (options_.node_unit) {
-    storage_->AppendNodeMessage(packet.header.dst_node, packet.header.id,
-                                SerializePacket(packet));
+    storage_->AppendNodeMessage(packet.header.dst_node, packet.header.id, wire_body);
   } else {
-    storage_->AppendMessage(packet.header.dst_process, packet.header.id,
-                            SerializePacket(packet));
+    storage_->AppendMessage(packet.header.dst_process, packet.header.id, wire_body);
   }
   return true;
 }

@@ -97,10 +97,13 @@ class Recorder : public PromiscuousListener, public ReadOrderFeed {
   // them here.  Returns true if the packet was a notice.
   bool ApplyNotice(const Packet& packet);
 
-  // Records one overheard data packet (already link-unwrapped and parsed).
-  // Returns false if this recorder is down.  Factored out so a RecorderGroup
-  // can share the parse across members.
-  bool RecordParsedPacket(const Packet& packet, size_t wire_bytes);
+  // Records one overheard data packet.  `wire_body` is the link-unwrapped
+  // frame payload — the exact SerializePacket bytes, shared with the frame —
+  // and `packet` its parsed form; appending `wire_body` directly is what
+  // keeps the publish path zero-copy (no re-serialization).  Returns false if
+  // this recorder is down.  Factored out so a RecorderGroup can share the
+  // parse across members.
+  bool RecordParsedPacket(const Packet& packet, const Buffer& wire_body);
 
   // Resolves the recorder's instruments (recorder.* series) and keeps the
   // tracer for per-message publish spans.  Forwards to the owned endpoint.

@@ -74,7 +74,7 @@ bool RecorderGroup::OnWireFrame(const Frame& frame) {
       continue;
     }
     any_up = true;
-    if (!member->recorder->RecordParsedPacket(*packet, body->size())) {
+    if (!member->recorder->RecordParsedPacket(*packet, *body)) {
       all_functioning_recorded = false;
     }
     // Secondaries overhear the notices the primary receives over its

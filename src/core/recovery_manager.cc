@@ -403,7 +403,7 @@ void RecoveryManager::BeginNodeReplay(NodeRecovery& nr) {
   for (const StableStorage::NodeLogEntry& entry : node_replay) {
     NodeReplayMessage msg;
     msg.step = entry.step;
-    msg.packet = entry.packet;
+    msg.packet = entry.packet.ToBytes();
     SendFromRecoveryPid(nr.rproc, ProcessId{nr.node, NodeKernel::kKernelLocalId},
                         EncodeNodeReplayMessage(msg));
   }

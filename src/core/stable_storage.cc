@@ -95,7 +95,7 @@ void StableStorage::SetHomeNode(const ProcessId& pid, NodeId node) {
   }
 }
 
-void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Bytes packet) {
+void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Buffer packet) {
   ProcessLog& log = Ensure(pid);
   if (log.info.destroyed || !log.info.recoverable) {
     return;  // §6.6.1: nothing is published for non-recoverable processes.
@@ -253,7 +253,7 @@ uint32_t StableStorage::LocalIdHighWater(NodeId node) const {
   return high;
 }
 
-void StableStorage::AppendNodeMessage(NodeId node, const MessageId& id, Bytes packet) {
+void StableStorage::AppendNodeMessage(NodeId node, const MessageId& id, Buffer packet) {
   NodeLog& log = node_logs_[node];
   if (!log.ever_logged.insert(id).second) {
     return;  // Retransmission of an already-published frame.

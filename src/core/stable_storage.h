@@ -24,6 +24,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/ids.h"
 #include "src/common/serialization.h"
 #include "src/common/status.h"
@@ -36,7 +37,10 @@ namespace publishing {
 struct LogEntry {
   MessageId id;
   uint64_t arrival = 0;   // Monotonic arrival index at the recorder.
-  Bytes packet;           // Serialized transport packet (replayable as-is).
+  // Serialized transport packet (replayable as-is).  A shared view of the
+  // overheard wire bytes: the recorder appends the unwrapped frame payload
+  // without re-serializing, so the entry and the frame share one storage.
+  Buffer packet;
   bool read = false;
   uint64_t read_seq = 0;  // Position in the process's read stream.
 };
@@ -94,7 +98,7 @@ class StableStorage {
   // --- Publishing ---
   // Appends a published message for `pid`; creates an implicit entry if the
   // creation notice has not arrived yet.
-  void AppendMessage(const ProcessId& pid, const MessageId& id, Bytes packet);
+  void AppendMessage(const ProcessId& pid, const MessageId& id, Buffer packet);
   // Records that `reader` consumed `id`.  Re-reads during replay (ids already
   // recorded as read) are ignored.
   void RecordRead(const ProcessId& reader, const MessageId& id);
@@ -133,11 +137,11 @@ class StableStorage {
     uint64_t arrival = 0;
     uint64_t step = 0;     // Event-counter stamp; valid when `stamped`.
     bool stamped = false;  // False until the node reported the arrival.
-    Bytes packet;
+    Buffer packet;         // Shared view of the overheard wire bytes.
   };
 
   // Appends an overheard extranode message for `node`.
-  void AppendNodeMessage(NodeId node, const MessageId& id, Bytes packet);
+  void AppendNodeMessage(NodeId node, const MessageId& id, Buffer packet);
   // Records the execution position at which `node` received message `id`.
   void StampNodeMessage(NodeId node, const MessageId& id, uint64_t step);
   // Stores a whole-node checkpoint and discards entries it subsumes.

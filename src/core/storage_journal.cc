@@ -76,7 +76,7 @@ Bytes StorageJournal::EncodeSetHome(const ProcessId& pid, NodeId node) {
 }
 
 Bytes StorageJournal::EncodeAppendMessage(const ProcessId& pid, const MessageId& id,
-                                          const Bytes& packet) {
+                                          std::span<const uint8_t> packet) {
   Writer w = BeginRecord(JournalOp::kAppendMessage);
   w.WriteProcessId(pid);
   w.WriteMessageId(id);
@@ -115,7 +115,7 @@ Bytes StorageJournal::EncodeSetRecovering(const ProcessId& pid, bool recovering)
 }
 
 Bytes StorageJournal::EncodeAppendNodeMessage(NodeId node, const MessageId& id,
-                                              const Bytes& packet) {
+                                              std::span<const uint8_t> packet) {
   Writer w = BeginRecord(JournalOp::kAppendNodeMessage);
   w.WriteNodeId(node);
   w.WriteMessageId(id);

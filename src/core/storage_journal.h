@@ -55,14 +55,17 @@ class StorageJournal {
                             const std::vector<Link>& links, NodeId home, bool recoverable);
   static Bytes EncodeDestroy(const ProcessId& pid);
   static Bytes EncodeSetHome(const ProcessId& pid, NodeId node);
+  // Packet-carrying encoders take spans so shared Buffer views are written
+  // straight into the WAL record without an intermediate copy.
   static Bytes EncodeAppendMessage(const ProcessId& pid, const MessageId& id,
-                                   const Bytes& packet);
+                                   std::span<const uint8_t> packet);
   static Bytes EncodeRecordRead(const ProcessId& reader, const MessageId& id);
   static Bytes EncodeRecordSent(const ProcessId& sender, uint64_t seq);
   static Bytes EncodeStoreCheckpoint(const ProcessId& pid, const Bytes& state,
                                      uint64_t reads_done);
   static Bytes EncodeSetRecovering(const ProcessId& pid, bool recovering);
-  static Bytes EncodeAppendNodeMessage(NodeId node, const MessageId& id, const Bytes& packet);
+  static Bytes EncodeAppendNodeMessage(NodeId node, const MessageId& id,
+                                       std::span<const uint8_t> packet);
   static Bytes EncodeStampNodeMessage(NodeId node, const MessageId& id, uint64_t step);
   static Bytes EncodeStoreNodeCheckpoint(NodeId node, const Bytes& image, uint64_t step);
   static Bytes EncodeRestartNumber(uint64_t number);

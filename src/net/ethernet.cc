@@ -1,8 +1,20 @@
 #include "src/net/ethernet.h"
 
-#include <unordered_set>
-
 namespace publishing {
+
+void Ethernet::AddContender(NodeId src) {
+  if (++queued_per_src_[src.value] == 1) {
+    ++distinct_sources_;
+  }
+}
+
+void Ethernet::RemoveContender(NodeId src) {
+  auto it = queued_per_src_.find(src.value);
+  if (--it->second == 0) {
+    queued_per_src_.erase(it);
+    --distinct_sources_;
+  }
+}
 
 void Ethernet::Send(Frame frame) {
   if (options_.acknowledging && frame.type == FrameType::kAck) {
@@ -16,6 +28,7 @@ void Ethernet::Send(Frame frame) {
     });
     return;
   }
+  AddContender(frame.src);
   queue_.push_back(Pending{std::move(frame), sim()->Now()});
   StartNext();
 }
@@ -29,14 +42,12 @@ void Ethernet::StartNext() {
 
   // CSMA contention: if several distinct stations hold queued frames, they
   // all attempt when the channel goes idle; each collision round wastes one
-  // slot time until a single winner remains.
-  std::unordered_set<uint32_t> contenders;
-  for (const Pending& p : queue_) {
-    contenders.insert(p.frame.src.value);
-  }
+  // slot time until a single winner remains.  The distinct-source count is
+  // maintained incrementally on enqueue/dequeue (O(1) per frame) instead of
+  // rescanning the queue per transmission.
   SimDuration contention = 0;
-  if (contenders.size() >= 2) {
-    const double collide_p = 1.0 - 1.0 / static_cast<double>(contenders.size());
+  if (distinct_sources_ >= 2) {
+    const double collide_p = 1.0 - 1.0 / static_cast<double>(distinct_sources_);
     while (fault_rng().NextBernoulli(collide_p)) {
       contention += options_.slot_time;
       NoteCollision();
@@ -45,6 +56,7 @@ void Ethernet::StartNext() {
 
   Pending pending = std::move(queue_.front());
   queue_.pop_front();
+  RemoveContender(pending.frame.src);
   NoteQueueDelay(ToMillis(sim()->Now() - pending.enqueued));
 
   SimDuration occupancy = contention + timings().TransmitTime(pending.frame.WireBytes());

@@ -16,6 +16,7 @@
 #define SRC_NET_ETHERNET_H_
 
 #include <deque>
+#include <unordered_map>
 
 #include "src/net/medium.h"
 
@@ -58,8 +59,16 @@ class Ethernet : public Medium {
   void StartNext();
   void CompleteTransmission(Frame frame, SimTime start);
 
+  // Incremental contender bookkeeping: per-source count of queued frames and
+  // the number of distinct sources, maintained on enqueue/dequeue so
+  // StartNext never rescans the queue.
+  void AddContender(NodeId src);
+  void RemoveContender(NodeId src);
+
   EthernetOptions options_;
   std::deque<Pending> queue_;
+  std::unordered_map<uint32_t, uint32_t> queued_per_src_;
+  size_t distinct_sources_ = 0;
   bool transmitting_ = false;
 };
 

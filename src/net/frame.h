@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "src/common/buffer.h"
 #include "src/common/ids.h"
 #include "src/common/serialization.h"
 
@@ -33,8 +34,10 @@ struct Frame {
   NodeId src;
   NodeId dst = kBroadcastNode;
   FrameType type = FrameType::kData;
-  // Link-layer payload (already CRC-wrapped by the link layer).
-  Bytes payload;
+  // Link-layer payload (already CRC-wrapped by the link layer).  Shared and
+  // immutable: broadcast delivery hands every station a view of the same
+  // storage; fault injection substitutes a damaged copy-on-write clone.
+  Buffer payload;
   // Set by fault injection when the copy handed to a receiver was damaged in
   // flight; the link layer CRC check will reject it.
   bool corrupted = false;

@@ -1,19 +1,20 @@
 #include "src/net/link_layer.h"
 
+#include <utility>
+
 #include "src/common/checksum.h"
 
 namespace publishing {
 
-Bytes LinkWrap(const Bytes& body) {
-  Bytes out = body;
-  uint32_t crc = Crc32(std::span<const uint8_t>(body.data(), body.size()));
+Buffer LinkWrap(Bytes body) {
+  const uint32_t crc = Crc32(std::span<const uint8_t>(body.data(), body.size()));
   for (size_t i = 0; i < 4; ++i) {
-    out.push_back(static_cast<uint8_t>(crc >> (8 * i)));
+    body.push_back(static_cast<uint8_t>(crc >> (8 * i)));
   }
-  return out;
+  return Buffer(std::move(body));
 }
 
-Result<Bytes> LinkUnwrap(const Bytes& payload) {
+Result<Buffer> LinkUnwrap(const Buffer& payload) {
   if (payload.size() < 4) {
     return Status(StatusCode::kCorrupt, "frame shorter than CRC trailer");
   }
@@ -22,27 +23,30 @@ Result<Bytes> LinkUnwrap(const Bytes& payload) {
   for (size_t i = 0; i < 4; ++i) {
     stored |= static_cast<uint32_t>(payload[body_len + i]) << (8 * i);
   }
-  uint32_t computed = Crc32(std::span<const uint8_t>(payload.data(), body_len));
+  const uint32_t computed = Crc32(std::span<const uint8_t>(payload.data(), body_len));
   if (stored != computed) {
     return Status(StatusCode::kCorrupt, "CRC mismatch");
   }
-  return Bytes(payload.begin(), payload.begin() + static_cast<ptrdiff_t>(body_len));
+  return payload.Slice(0, body_len);
 }
 
-void LinkInvalidate(Bytes& payload) {
+Buffer LinkInvalidate(const Buffer& payload) {
   if (payload.size() < 4) {
-    return;
+    return payload;
   }
-  for (size_t i = payload.size() - 4; i < payload.size(); ++i) {
-    payload[i] = static_cast<uint8_t>(~payload[i]);
-  }
+  return payload.MutateCopy([](Bytes& bytes) {
+    for (size_t i = bytes.size() - 4; i < bytes.size(); ++i) {
+      bytes[i] = static_cast<uint8_t>(~bytes[i]);
+    }
+  });
 }
 
-void LinkCorruptByte(Bytes& payload, size_t index) {
+Buffer LinkCorrupt(const Buffer& payload, size_t index) {
   if (payload.empty()) {
-    return;
+    return payload;
   }
-  payload[index % payload.size()] ^= 0x5A;
+  return payload.MutateCopy(
+      [index](Bytes& bytes) { bytes[index % bytes.size()] ^= 0x5A; });
 }
 
 }  // namespace publishing

@@ -6,29 +6,38 @@
 // recorder-veto (§6.1.2) deliberately complements the trailing CRC bytes so
 // that "if the recorder could not successfully read it, neither will the
 // receiver".
+//
+// The API is built around the shared immutable Buffer: wrapping appends the
+// CRC to the serialized body in place and freezes it (the one allocation per
+// message), unwrapping validates and returns a zero-copy slice, and the two
+// fault injectors (invalidate, corrupt) are copy-on-write — the only writers
+// on the wire path, each paying for exactly one copy.
 
 #ifndef SRC_NET_LINK_LAYER_H_
 #define SRC_NET_LINK_LAYER_H_
 
+#include "src/common/buffer.h"
 #include "src/common/serialization.h"
 #include "src/common/status.h"
 
 namespace publishing {
 
-// Appends a CRC32 trailer to `body` producing a link-layer payload.
-Bytes LinkWrap(const Bytes& body);
+// Appends a CRC32 trailer to `body` (in place — takes ownership) and freezes
+// the result as the frame's shared link-layer payload.
+Buffer LinkWrap(Bytes body);
 
-// Validates and strips the CRC trailer.  Returns kCorrupt if the trailer is
-// missing or does not match.
-Result<Bytes> LinkUnwrap(const Bytes& payload);
+// Validates the CRC trailer.  Returns a zero-copy slice of `payload` with
+// the trailer stripped, or kCorrupt if the trailer is missing or mismatched.
+Result<Buffer> LinkUnwrap(const Buffer& payload);
 
-// Complements the CRC trailer in place, guaranteeing validation failure
-// (used by the token-ring recorder to invalidate frames it missed, §6.1.2).
-void LinkInvalidate(Bytes& payload);
+// Returns a copy of `payload` with the CRC trailer complemented, guaranteeing
+// validation failure (used by the token-ring recorder to invalidate frames it
+// missed, §6.1.2).  Copy-on-write: the shared original is untouched.
+Buffer LinkInvalidate(const Buffer& payload);
 
-// Damages one payload byte in place (fault-injection helper); position is
-// chosen by the caller, typically from a seeded Rng.
-void LinkCorruptByte(Bytes& payload, size_t index);
+// Returns a copy of `payload` with one byte damaged (fault-injection helper);
+// position is chosen by the caller, typically from a seeded Rng.  CoW.
+Buffer LinkCorrupt(const Buffer& payload, size_t index);
 
 }  // namespace publishing
 

@@ -59,8 +59,9 @@ void TokenRing::StartNext() {
       [this, frame = pending.frame, start, sender, hops_to_recorder, rotation, n]() mutable {
         bool recorded = !HasListeners() || RunListeners(frame);
         if (!recorded) {
-          // Complement the checksum: the destination will reject the frame.
-          LinkInvalidate(frame.payload);
+          // Complement the checksum (copy-on-write; the sender's shared
+          // payload is untouched): the destination will reject the frame.
+          frame.payload = LinkInvalidate(frame.payload);
           frame.corrupted = true;
           NoteVetoed(frame);
         }

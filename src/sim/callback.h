@@ -1,0 +1,122 @@
+// Small-buffer-optimized move-only callable for simulator events.
+//
+// Nearly every event in the system is a capture-light lambda (a couple of
+// pointers plus a frame/packet handle).  std::function heap-allocates many of
+// those and drags in copyability requirements; SimCallback stores anything up
+// to kInlineSize bytes inline in the event slab node and only falls back to
+// the heap for oversized or throwing-move captures.
+
+#ifndef SRC_SIM_CALLBACK_H_
+#define SRC_SIM_CALLBACK_H_
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace publishing {
+
+class SimCallback {
+ public:
+  // Enough for half a dozen pointers or a shared Buffer plus ids; measured
+  // against the transport/medium lambdas, which are the hot ones.
+  static constexpr size_t kInlineSize = 48;
+
+  SimCallback() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<!std::is_same_v<std::decay_t<F>, SimCallback> &&
+                                        std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  SimCallback(F&& f) {  // NOLINT(google-explicit-constructor)
+    using Fn = std::decay_t<F>;
+    if constexpr (kFitsInline<Fn>) {
+      ::new (storage_) Fn(std::forward<F>(f));
+      ops_ = &kInlineOps<Fn>;
+    } else {
+      *reinterpret_cast<Fn**>(storage_) = new Fn(std::forward<F>(f));
+      ops_ = &kHeapOps<Fn>;
+    }
+  }
+
+  SimCallback(SimCallback&& other) noexcept { MoveFrom(std::move(other)); }
+
+  SimCallback& operator=(SimCallback&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(std::move(other));
+    }
+    return *this;
+  }
+
+  SimCallback(const SimCallback&) = delete;
+  SimCallback& operator=(const SimCallback&) = delete;
+
+  ~SimCallback() { Reset(); }
+
+  void operator()() { ops_->invoke(storage_); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  // True if the wrapped callable lives in the inline buffer (no heap
+  // allocation).  Exposed so tests can pin the SBO guarantee.
+  bool is_inline() const { return ops_ != nullptr && ops_->inline_storage; }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* obj);
+    // Move-constructs the callable from src storage into dst storage and
+    // destroys the source.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* obj) noexcept;
+    bool inline_storage;
+  };
+
+  template <typename Fn>
+  static constexpr bool kFitsInline = sizeof(Fn) <= kInlineSize &&
+                                      alignof(Fn) <= alignof(std::max_align_t) &&
+                                      std::is_nothrow_move_constructible_v<Fn>;
+
+  template <typename Fn>
+  static constexpr Ops kInlineOps = {
+      [](void* obj) { (*std::launder(reinterpret_cast<Fn*>(obj)))(); },
+      [](void* src, void* dst) noexcept {
+        Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*from));
+        from->~Fn();
+      },
+      [](void* obj) noexcept { std::launder(reinterpret_cast<Fn*>(obj))->~Fn(); },
+      /*inline_storage=*/true,
+  };
+
+  template <typename Fn>
+  static constexpr Ops kHeapOps = {
+      [](void* obj) { (**reinterpret_cast<Fn**>(obj))(); },
+      [](void* src, void* dst) noexcept {
+        *reinterpret_cast<Fn**>(dst) = *reinterpret_cast<Fn**>(src);
+      },
+      [](void* obj) noexcept { delete *reinterpret_cast<Fn**>(obj); },
+      /*inline_storage=*/false,
+  };
+
+  void MoveFrom(SimCallback&& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(other.storage_, storage_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  void Reset() noexcept {
+    if (ops_ != nullptr) {
+      ops_->destroy(storage_);
+      ops_ = nullptr;
+    }
+  }
+
+  const Ops* ops_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[kInlineSize];
+};
+
+}  // namespace publishing
+
+#endif  // SRC_SIM_CALLBACK_H_

@@ -6,6 +6,15 @@
 // in scheduling order (a stable sequence number breaks ties), which makes
 // whole-system runs bit-for-bit reproducible; the crash/recovery equivalence
 // tests depend on that.
+//
+// Engine layout: pending events live in a slab of pooled nodes (callback
+// stored inline via SimCallback's small-buffer optimization) indexed by an
+// intrusive binary heap.  Pops move the callback out of the node instead of
+// copying a queue entry, cancellation is eager (O(log n) heap removal keyed
+// by a generation-stamped handle, so a stale handle can never cancel a
+// recycled slot), and freed nodes return to a free list.  Memory is therefore
+// bounded by the peak number of *pending* events, not by the total number
+// ever scheduled.
 
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
@@ -13,15 +22,18 @@
 #include <cassert>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "src/obs/observability.h"
+#include "src/sim/callback.h"
 #include "src/sim/time.h"
 
 namespace publishing {
 
-// Token for cancelling a scheduled event.
+// Token for cancelling a scheduled event.  Packs slab slot + slot generation;
+// the generation makes handles single-use: once the event fires or is
+// cancelled the slot's generation advances and the old handle goes stale.
 struct EventId {
   uint64_t value = 0;
 
@@ -32,7 +44,7 @@ struct EventId {
 
 class Simulator {
  public:
-  using Action = std::function<void()>;
+  using Action = SimCallback;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -60,14 +72,19 @@ class Simulator {
   // Schedules `action` to run at absolute time `when` (>= Now()).
   EventId ScheduleAt(SimTime when, Action action) {
     assert(when >= now_ && "cannot schedule into the past");
-    EventId id{++next_id_};
-    queue_.push(Event{when, id.value, std::move(action)});
-    ++pending_;
+    const uint32_t slot = AcquireSlot();
+    EventNode& node = slab_[slot];
+    node.when = when;
+    node.seq = ++next_seq_;
+    node.action = std::move(action);
+    node.heap_pos = static_cast<uint32_t>(heap_.size());
+    heap_.push_back(slot);
+    SiftUp(node.heap_pos);
     if (events_scheduled_ != nullptr) {
       events_scheduled_->Add(1);
-      queue_depth_->Set(static_cast<double>(pending_));
+      queue_depth_->Set(static_cast<double>(heap_.size()));
     }
-    return id;
+    return EventId{MakeHandle(slot, node.generation)};
   }
 
   // Schedules `action` to run `delay` from now.
@@ -75,51 +92,52 @@ class Simulator {
     return ScheduleAt(now_ + delay, std::move(action));
   }
 
-  // Cancels a pending event.  Returns false if the event already ran or was
-  // already cancelled.  (Lazy cancellation: the entry stays queued but is
-  // skipped when popped.)
+  // Cancels a pending event: removes it from the heap immediately and
+  // recycles its slot.  Returns false if the handle is stale (the event
+  // already ran or was already cancelled) or never existed.
   bool Cancel(EventId id) {
-    if (!id.IsValid() || id.value > next_id_) {
+    if (!id.IsValid()) {
       return false;
     }
-    if (cancelled_.size() <= id.value) {
-      cancelled_.resize(next_id_ + 1, false);
-    }
-    if (fired_.size() <= id.value) {
-      fired_.resize(next_id_ + 1, false);
-    }
-    if (cancelled_[id.value] || fired_[id.value]) {
+    const uint32_t slot = HandleSlot(id.value);
+    if (slot >= slab_.size()) {
       return false;
     }
-    cancelled_[id.value] = true;
-    --pending_;
+    EventNode& node = slab_[slot];
+    if (node.heap_pos == kNpos || node.generation != HandleGeneration(id.value)) {
+      return false;
+    }
+    RemoveFromHeap(node.heap_pos);
+    node.action = Action();
+    ReleaseSlot(slot);
     if (events_cancelled_ != nullptr) {
       events_cancelled_->Add(1);
-      queue_depth_->Set(static_cast<double>(pending_));
+      queue_depth_->Set(static_cast<double>(heap_.size()));
     }
     return true;
   }
 
   // Runs the single next event.  Returns false if the queue is empty.
   bool Step() {
-    while (!queue_.empty()) {
-      Event ev = queue_.top();
-      queue_.pop();
-      if (IsCancelled(ev.id)) {
-        continue;
-      }
-      MarkFired(ev.id);
-      --pending_;
-      assert(ev.when >= now_);
-      now_ = ev.when;
-      if (events_fired_ != nullptr) {
-        events_fired_->Add(1);
-        queue_depth_->Set(static_cast<double>(pending_));
-      }
-      ev.action();
-      return true;
+    if (heap_.empty()) {
+      return false;
     }
-    return false;
+    const uint32_t slot = heap_.front();
+    EventNode& node = slab_[slot];
+    assert(node.when >= now_);
+    now_ = node.when;
+    // Move the callback out and retire the slot before invoking: the action
+    // may schedule (growing the slab), cancel, or re-enter the simulator, and
+    // a handle to this event must already read as fired.
+    Action action = std::move(node.action);
+    RemoveFromHeap(0);
+    ReleaseSlot(slot);
+    if (events_fired_ != nullptr) {
+      events_fired_->Add(1);
+      queue_depth_->Set(static_cast<double>(heap_.size()));
+    }
+    action();
+    return true;
   }
 
   // Runs events until the queue drains.
@@ -131,15 +149,7 @@ class Simulator {
   // Runs events with firing time <= `deadline`, then advances the clock to
   // `deadline` (even if the queue drained earlier).
   void RunUntil(SimTime deadline) {
-    while (!queue_.empty()) {
-      const Event& top = queue_.top();
-      if (IsCancelled(top.id)) {
-        queue_.pop();
-        continue;
-      }
-      if (top.when > deadline) {
-        break;
-      }
+    while (!heap_.empty() && slab_[heap_.front()].when <= deadline) {
       Step();
     }
     if (now_ < deadline) {
@@ -149,38 +159,118 @@ class Simulator {
 
   void RunFor(SimDuration span) { RunUntil(now_ + span); }
 
-  size_t pending_events() const { return pending_; }
+  size_t pending_events() const { return heap_.size(); }
+
+  // Number of slab nodes ever materialized.  Bounded by the peak number of
+  // simultaneously pending events (regression test pins this: scheduling and
+  // retiring 10M events must not grow it past the peak).
+  size_t slab_slots() const { return slab_.size(); }
 
  private:
-  struct Event {
-    SimTime when;
-    uint64_t id;
-    Action action;
+  static constexpr uint32_t kNpos = UINT32_MAX;
 
-    // std::priority_queue is a max-heap; invert so the earliest time (and,
-    // within a time, the lowest id, i.e. FIFO) comes out first.
-    bool operator<(const Event& other) const {
-      if (when != other.when) {
-        return when > other.when;
-      }
-      return id > other.id;
-    }
+  struct EventNode {
+    SimTime when = 0;
+    uint64_t seq = 0;        // schedule order; breaks same-instant ties (FIFO)
+    uint32_t generation = 0; // bumped on release; staleness check for handles
+    uint32_t heap_pos = kNpos;
+    uint32_t next_free = kNpos;
+    Action action;
   };
 
-  bool IsCancelled(uint64_t id) const { return id < cancelled_.size() && cancelled_[id]; }
-  void MarkFired(uint64_t id) {
-    if (fired_.size() <= id) {
-      fired_.resize(id + 1, false);
+  static uint64_t MakeHandle(uint32_t slot, uint32_t generation) {
+    // +1 keeps value != 0 so EventId::IsValid stays "nonzero".
+    return (uint64_t{generation} << 32) | (uint64_t{slot} + 1);
+  }
+  static uint32_t HandleSlot(uint64_t value) {
+    return static_cast<uint32_t>((value & 0xFFFFFFFFu) - 1);
+  }
+  static uint32_t HandleGeneration(uint64_t value) { return static_cast<uint32_t>(value >> 32); }
+
+  uint32_t AcquireSlot() {
+    if (free_head_ != kNpos) {
+      const uint32_t slot = free_head_;
+      free_head_ = slab_[slot].next_free;
+      slab_[slot].next_free = kNpos;
+      return slot;
     }
-    fired_[id] = true;
+    slab_.emplace_back();
+    return static_cast<uint32_t>(slab_.size() - 1);
+  }
+
+  void ReleaseSlot(uint32_t slot) {
+    EventNode& node = slab_[slot];
+    node.heap_pos = kNpos;
+    ++node.generation;
+    node.next_free = free_head_;
+    free_head_ = slot;
+  }
+
+  // True if the event in slot `a` fires before the one in slot `b`.
+  bool Before(uint32_t a, uint32_t b) const {
+    const EventNode& na = slab_[a];
+    const EventNode& nb = slab_[b];
+    if (na.when != nb.when) {
+      return na.when < nb.when;
+    }
+    return na.seq < nb.seq;
+  }
+
+  void SiftUp(uint32_t pos) {
+    while (pos > 0) {
+      const uint32_t parent = (pos - 1) / 2;
+      if (!Before(heap_[pos], heap_[parent])) {
+        break;
+      }
+      SwapHeap(pos, parent);
+      pos = parent;
+    }
+  }
+
+  void SiftDown(uint32_t pos) {
+    const uint32_t n = static_cast<uint32_t>(heap_.size());
+    for (;;) {
+      uint32_t best = pos;
+      const uint32_t left = 2 * pos + 1;
+      const uint32_t right = left + 1;
+      if (left < n && Before(heap_[left], heap_[best])) {
+        best = left;
+      }
+      if (right < n && Before(heap_[right], heap_[best])) {
+        best = right;
+      }
+      if (best == pos) {
+        break;
+      }
+      SwapHeap(pos, best);
+      pos = best;
+    }
+  }
+
+  void SwapHeap(uint32_t a, uint32_t b) {
+    std::swap(heap_[a], heap_[b]);
+    slab_[heap_[a]].heap_pos = a;
+    slab_[heap_[b]].heap_pos = b;
+  }
+
+  // Removes the entry at heap position `pos`, restoring the heap property.
+  void RemoveFromHeap(uint32_t pos) {
+    const uint32_t last = static_cast<uint32_t>(heap_.size() - 1);
+    if (pos != last) {
+      SwapHeap(pos, last);
+      heap_.pop_back();
+      SiftDown(pos);
+      SiftUp(pos);
+    } else {
+      heap_.pop_back();
+    }
   }
 
   SimTime now_ = 0;
-  uint64_t next_id_ = 0;
-  size_t pending_ = 0;
-  std::priority_queue<Event> queue_;
-  std::vector<bool> cancelled_;
-  std::vector<bool> fired_;
+  uint64_t next_seq_ = 0;
+  std::vector<EventNode> slab_;
+  std::vector<uint32_t> heap_;  // slab indices ordered by (when, seq)
+  uint32_t free_head_ = kNpos;
 
   // Observability handles (null = detached).  All four are resolved together,
   // so checking one suffices on each path.
@@ -222,11 +312,14 @@ class PeriodicTask {
  private:
   void Arm() {
     pending_ = sim_->ScheduleAfter(period_, [this] {
+      pending_ = EventId{};
       if (!running_) {
         return;
       }
       body_();
-      if (running_) {
+      // The body may have stopped, or stopped-and-restarted, this task; only
+      // re-arm if it did not already arm a fresh timer itself.
+      if (running_ && !pending_.IsValid()) {
         Arm();
       }
     });

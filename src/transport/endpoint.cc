@@ -140,12 +140,11 @@ void TransportEndpoint::OnFrame(const Frame& frame) {
   if (!online_) {
     return;
   }
-  Bytes payload = frame.payload;
-  if (frame.corrupted) {
-    // Fault injection damaged our copy; let the CRC catch it.
-    LinkCorruptByte(payload, static_cast<size_t>(frame.payload.size() / 2));
-  }
-  auto body = LinkUnwrap(payload);
+  // Fault injection damaged our copy: substitute a CoW-damaged clone and let
+  // the CRC catch it.  The clean path unwraps the shared payload in place.
+  auto body = frame.corrupted
+                  ? LinkUnwrap(LinkCorrupt(frame.payload, frame.payload.size() / 2))
+                  : LinkUnwrap(frame.payload);
   if (!body.ok()) {
     NoteCorruptDropped();
     return;

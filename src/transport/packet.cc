@@ -17,8 +17,8 @@ Bytes SerializePacket(const Packet& packet) {
   return w.TakeBytes();
 }
 
-Result<Packet> ParsePacket(const Bytes& bytes) {
-  Reader r(std::span<const uint8_t>(bytes.data(), bytes.size()));
+Result<Packet> ParsePacket(std::span<const uint8_t> bytes) {
+  Reader r(bytes);
   Packet packet;
   auto id = r.ReadMessageId();
   if (!id.ok()) {
@@ -84,8 +84,8 @@ Bytes SerializeAck(const AckPacket& ack) {
   return w.TakeBytes();
 }
 
-Result<AckPacket> ParseAck(const Bytes& bytes) {
-  Reader r(std::span<const uint8_t>(bytes.data(), bytes.size()));
+Result<AckPacket> ParseAck(std::span<const uint8_t> bytes) {
+  Reader r(bytes);
   AckPacket ack;
   auto id = r.ReadMessageId();
   if (!id.ok()) {

@@ -63,11 +63,15 @@ struct AckPacket {
   NodeId to;    // Original sender node.
 };
 
+// Parsers take spans so both owned Bytes and shared Buffer views flow in
+// without materializing a copy; ParsePacket is the exact inverse of
+// SerializePacket (the recorder relies on this to append the overheard wire
+// bytes directly instead of re-serializing).
 Bytes SerializePacket(const Packet& packet);
-Result<Packet> ParsePacket(const Bytes& bytes);
+Result<Packet> ParsePacket(std::span<const uint8_t> bytes);
 
 Bytes SerializeAck(const AckPacket& ack);
-Result<AckPacket> ParseAck(const Bytes& bytes);
+Result<AckPacket> ParseAck(std::span<const uint8_t> bytes);
 
 }  // namespace publishing
 

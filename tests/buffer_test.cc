@@ -1,0 +1,138 @@
+// Tests for the shared, immutable Buffer underlying the zero-copy wire path.
+
+#include "src/common/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+namespace publishing {
+namespace {
+
+Bytes MakeBytes(std::initializer_list<uint8_t> init) { return Bytes(init); }
+
+TEST(BufferTest, DefaultIsEmpty) {
+  Buffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+  EXPECT_EQ(b.use_count(), 0);
+  EXPECT_EQ(b, Bytes{});
+}
+
+TEST(BufferTest, TakesOwnershipWithoutCopying) {
+  ResetBufferStats();
+  Buffer b(MakeBytes({1, 2, 3, 4}));
+  EXPECT_EQ(b.size(), 4u);
+  EXPECT_EQ(b[0], 1);
+  EXPECT_EQ(b[3], 4);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+  EXPECT_EQ(GetBufferStats().bytes_shared, 0u);
+}
+
+TEST(BufferTest, CopyConstructionSharesStorage) {
+  ResetBufferStats();
+  Buffer a(MakeBytes({1, 2, 3, 4}));
+  Buffer b = a;
+  EXPECT_EQ(a.data(), b.data());
+  EXPECT_EQ(a.use_count(), 2);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+  EXPECT_EQ(GetBufferStats().bytes_shared, 4u);
+  EXPECT_EQ(GetBufferStats().shares, 1u);
+}
+
+TEST(BufferTest, MoveTransfersWithoutAccounting) {
+  ResetBufferStats();
+  Buffer a(MakeBytes({1, 2, 3}));
+  Buffer b = std::move(a);
+  EXPECT_EQ(b.size(), 3u);
+  EXPECT_EQ(b.use_count(), 1);
+  EXPECT_EQ(GetBufferStats().bytes_shared, 0u);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+}
+
+TEST(BufferTest, SliceIsZeroCopyView) {
+  ResetBufferStats();
+  Buffer a(MakeBytes({10, 11, 12, 13, 14}));
+  Buffer mid = a.Slice(1, 3);
+  EXPECT_EQ(mid.size(), 3u);
+  EXPECT_EQ(mid[0], 11);
+  EXPECT_EQ(mid[2], 13);
+  EXPECT_EQ(mid.data(), a.data() + 1);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+}
+
+TEST(BufferTest, SliceOfSliceComposesOffsets) {
+  Buffer a(MakeBytes({0, 1, 2, 3, 4, 5, 6, 7}));
+  Buffer inner = a.Slice(2, 5).Slice(1, 3);
+  EXPECT_EQ(inner.size(), 3u);
+  EXPECT_EQ(inner[0], 3);
+  EXPECT_EQ(inner[2], 5);
+}
+
+TEST(BufferTest, SliceClampsOutOfRange) {
+  Buffer a(MakeBytes({1, 2, 3}));
+  EXPECT_EQ(a.Slice(5, 2).size(), 0u);
+  EXPECT_EQ(a.Slice(1, 99).size(), 2u);
+}
+
+TEST(BufferTest, SliceKeepsStorageAliveAfterParentDies) {
+  Buffer tail;
+  {
+    Buffer a(MakeBytes({7, 8, 9}));
+    tail = a.Slice(1, 2);
+  }
+  EXPECT_EQ(tail.size(), 2u);
+  EXPECT_EQ(tail[0], 8);
+  EXPECT_EQ(tail[1], 9);
+}
+
+TEST(BufferTest, MutateCopyCountsCopiedBytesAndLeavesOriginalIntact) {
+  ResetBufferStats();
+  Buffer a(MakeBytes({1, 2, 3, 4}));
+  Buffer damaged = a.MutateCopy([](Bytes& bytes) { bytes[0] ^= 0xFF; });
+  EXPECT_EQ(a[0], 1);
+  EXPECT_EQ(damaged[0], 1 ^ 0xFF);
+  EXPECT_EQ(damaged[1], 2);
+  EXPECT_NE(a.data(), damaged.data());
+  EXPECT_EQ(GetBufferStats().bytes_copied, 4u);
+  EXPECT_EQ(GetBufferStats().copies, 1u);
+}
+
+TEST(BufferTest, ToBytesCountsCopy) {
+  ResetBufferStats();
+  Buffer a(MakeBytes({5, 6, 7}));
+  Bytes out = a.ToBytes();
+  EXPECT_EQ(out, (Bytes{5, 6, 7}));
+  EXPECT_EQ(GetBufferStats().bytes_copied, 3u);
+}
+
+TEST(BufferTest, CopyOfCountsCopy) {
+  ResetBufferStats();
+  Bytes src = MakeBytes({1, 2});
+  Buffer b = Buffer::CopyOf(src);
+  EXPECT_EQ(b, src);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 2u);
+}
+
+TEST(BufferTest, EqualityComparesVisibleBytes) {
+  Buffer a(MakeBytes({1, 2, 3}));
+  Buffer b(MakeBytes({0, 1, 2, 3, 9}));
+  EXPECT_EQ(a, b.Slice(1, 3));
+  EXPECT_EQ(a, (Bytes{1, 2, 3}));
+  EXPECT_FALSE(a == (Bytes{1, 2}));
+}
+
+TEST(BufferBuilderTest, BuildsFromWriterWithoutExtraCopies) {
+  ResetBufferStats();
+  BufferBuilder builder;
+  builder.writer().WriteU32(0xDEADBEEF);
+  builder.writer().WriteU8(7);
+  Buffer b = builder.Build();
+  EXPECT_EQ(b.size(), 5u);
+  EXPECT_EQ(b[0], 0xEF);
+  EXPECT_EQ(b[4], 7);
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+}
+
+}  // namespace
+}  // namespace publishing

@@ -56,27 +56,45 @@ Frame MakeFrame(uint32_t src, uint32_t dst, size_t body_bytes = 64) {
 
 TEST(LinkLayer, WrapUnwrapRoundTrip) {
   Bytes body = {1, 2, 3, 4, 5};
-  Bytes wire = LinkWrap(body);
+  Buffer wire = LinkWrap(body);
   EXPECT_EQ(wire.size(), body.size() + 4);
   auto out = LinkUnwrap(wire);
   ASSERT_TRUE(out.ok());
   EXPECT_EQ(*out, body);
 }
 
+TEST(LinkLayer, UnwrapIsZeroCopySliceOfWirePayload) {
+  Buffer wire = LinkWrap(Bytes(64, 0x42));
+  ResetBufferStats();
+  auto body = LinkUnwrap(wire);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->data(), wire.data()) << "body must view the wire storage";
+  EXPECT_EQ(GetBufferStats().bytes_copied, 0u);
+}
+
 TEST(LinkLayer, CorruptionIsRejected) {
-  Bytes wire = LinkWrap(Bytes(100, 0x7E));
-  LinkCorruptByte(wire, 50);
+  Buffer wire = LinkWrap(Bytes(100, 0x7E));
+  wire = LinkCorrupt(wire, 50);
   EXPECT_FALSE(LinkUnwrap(wire).ok());
+}
+
+TEST(LinkLayer, CorruptionIsCopyOnWrite) {
+  Buffer wire = LinkWrap(Bytes(100, 0x7E));
+  ResetBufferStats();
+  Buffer damaged = LinkCorrupt(wire, 50);
+  EXPECT_TRUE(LinkUnwrap(wire).ok()) << "shared original must stay intact";
+  EXPECT_FALSE(LinkUnwrap(damaged).ok());
+  EXPECT_EQ(GetBufferStats().bytes_copied, wire.size());
 }
 
 TEST(LinkLayer, InvalidationGuaranteesRejection) {
   // §6.1.2: the recorder complements the checksum so the destination cannot
   // accept a frame the recorder failed to read.
-  Bytes wire = LinkWrap(Bytes(32, 0x11));
-  LinkInvalidate(wire);
+  Buffer wire = LinkWrap(Bytes(32, 0x11));
+  wire = LinkInvalidate(wire);
   EXPECT_FALSE(LinkUnwrap(wire).ok());
   // Invalidation is its own inverse (complement twice = original).
-  LinkInvalidate(wire);
+  wire = LinkInvalidate(wire);
   EXPECT_TRUE(LinkUnwrap(wire).ok());
 }
 

@@ -84,7 +84,7 @@ TEST(Recorder, OwnTransmissionsAreSkipped) {
 TEST(Recorder, CorruptFramesAreVetoed) {
   RecorderFixture f;
   Frame frame = f.DataFrame(1, 1);
-  LinkCorruptByte(frame.payload, 10);
+  frame.payload = LinkCorrupt(frame.payload, 10);
   EXPECT_FALSE(f.recorder.OnWireFrame(frame))
       << "a frame the recorder cannot read must be vetoed";
   EXPECT_EQ(f.recorder.stats().messages_published, 0u);

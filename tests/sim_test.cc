@@ -104,6 +104,135 @@ TEST(Simulator, PendingEventsAccounting) {
   EXPECT_EQ(sim.pending_events(), 0u);
 }
 
+TEST(Simulator, CancelWithStaleHandleAfterSlotReuseReportsFailure) {
+  Simulator sim;
+  bool victim_fired = false;
+  EventId stale = sim.ScheduleAt(Millis(1), [] {});
+  sim.Run();
+  // The fired event's slab slot is recycled for the next schedule; the stale
+  // handle's generation no longer matches, so it must not cancel the newcomer.
+  EventId fresh = sim.ScheduleAt(Millis(2), [&] { victim_fired = true; });
+  EXPECT_FALSE(sim.Cancel(stale));
+  sim.Run();
+  EXPECT_TRUE(victim_fired);
+  EXPECT_TRUE(fresh.IsValid());
+}
+
+TEST(Simulator, CancelFromWithinOwnCallbackReportsFailure) {
+  Simulator sim;
+  EventId id;
+  bool cancel_result = true;
+  id = sim.ScheduleAt(Millis(1), [&] { cancel_result = sim.Cancel(id); });
+  sim.Run();
+  EXPECT_FALSE(cancel_result) << "an event is already fired while its callback runs";
+}
+
+TEST(Simulator, CancelFromAnotherCallbackPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventId doomed = sim.ScheduleAt(Millis(20), [&] { fired = true; });
+  sim.ScheduleAt(Millis(10), [&] { EXPECT_TRUE(sim.Cancel(doomed)); });
+  sim.Run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.Now(), Millis(10)) << "cancelled event must not advance the clock";
+}
+
+TEST(Simulator, SameInstantFifoSurvivesInterleavedCancellations) {
+  // Cancelling from the middle of a same-instant batch rearranges the heap
+  // (swap-with-last + sift); the survivors must still fire in schedule order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(sim.ScheduleAt(Millis(5), [&order, i] { order.push_back(i); }));
+  }
+  for (int i = 0; i < 64; i += 3) {
+    EXPECT_TRUE(sim.Cancel(ids[static_cast<size_t>(i)]));
+  }
+  sim.Run();
+  std::vector<int> expected;
+  for (int i = 0; i < 64; ++i) {
+    if (i % 3 != 0) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(order, expected);
+}
+
+TEST(Simulator, SameInstantFifoSurvivesSlotReuse) {
+  // Recycled slab slots get fresh sequence numbers, so FIFO order within an
+  // instant reflects schedule order even when slots are reused out of order.
+  Simulator sim;
+  std::vector<int> order;
+  for (int round = 0; round < 3; ++round) {
+    EventId a = sim.ScheduleAt(Millis(1), [] {});
+    EventId b = sim.ScheduleAt(Millis(1), [] {});
+    sim.Cancel(b);
+    sim.Cancel(a);
+  }
+  for (int i = 0; i < 8; ++i) {
+    sim.ScheduleAt(Millis(1), [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Simulator, MemoryBoundedByPendingEventsNotTotalScheduled) {
+  // 10M schedule/retire cycles with at most `kWindow` events pending must not
+  // grow the slab past the pending peak.  The old engine kept O(total ever
+  // scheduled) bitsets; this is the regression test for that leak.
+  Simulator sim;
+  constexpr int kWindow = 16;
+  constexpr int kCycles = 10'000'000;
+  std::vector<EventId> window;
+  int fired = 0;
+  for (int i = 0; i < kCycles; ++i) {
+    EventId id = sim.ScheduleAfter(1 + (i % 7), [&fired] { ++fired; });
+    window.push_back(id);
+    if (window.size() == kWindow) {
+      // Retire half by cancelling, half by firing.
+      for (size_t j = 0; j < kWindow / 2; ++j) {
+        sim.Cancel(window[j]);
+      }
+      sim.RunFor(8);
+      window.clear();
+    }
+  }
+  sim.Run();
+  EXPECT_GT(fired, 0);
+  EXPECT_LE(sim.slab_slots(), static_cast<size_t>(2 * kWindow))
+      << "slab must be bounded by peak pending events";
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimCallback, CaptureLightLambdasStayInline) {
+  int x = 0;
+  int* p = &x;
+  SimCallback cb([p] { ++*p; });
+  EXPECT_TRUE(cb.is_inline());
+  cb();
+  EXPECT_EQ(x, 1);
+}
+
+TEST(SimCallback, OversizedCapturesFallBackToHeap) {
+  std::vector<int> big(100, 7);
+  int sum = 0;
+  std::array<char, 128> pad{};
+  SimCallback cb([big, pad, &sum] { sum = big[0] + pad[0]; });
+  EXPECT_FALSE(cb.is_inline());
+  cb();
+  EXPECT_EQ(sum, 7);
+}
+
+TEST(SimCallback, MoveTransfersCallable) {
+  int hits = 0;
+  SimCallback a([&hits] { ++hits; });
+  SimCallback b = std::move(a);
+  EXPECT_FALSE(static_cast<bool>(a));
+  b();
+  EXPECT_EQ(hits, 1);
+}
+
 TEST(PeriodicTask, FiresEveryPeriodUntilStopped) {
   Simulator sim;
   int fired = 0;
@@ -127,6 +256,43 @@ TEST(PeriodicTask, StopFromWithinBodyIsSafe) {
   sim.ScheduleAt(Millis(25), [&] { task.Stop(); });
   sim.RunUntil(Millis(100));
   EXPECT_EQ(fired, 2);
+}
+
+TEST(PeriodicTask, StopFromInsideOwnCallbackDoesNotRearm) {
+  // The firing event's handle is already stale when the body runs; Stop()
+  // must cope with cancelling it (a no-op) and suppress the re-arm.
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask* self = nullptr;
+  PeriodicTask task(&sim, Millis(10), [&] {
+    ++fired;
+    if (fired == 3) {
+      self->Stop();
+    }
+  });
+  self = &task;
+  task.Start();
+  sim.RunUntil(Millis(500));
+  EXPECT_EQ(fired, 3);
+  EXPECT_FALSE(task.running());
+}
+
+TEST(PeriodicTask, StopThenStartFromInsideOwnCallbackContinues) {
+  Simulator sim;
+  int fired = 0;
+  PeriodicTask* self = nullptr;
+  PeriodicTask task(&sim, Millis(10), [&] {
+    ++fired;
+    if (fired == 2) {
+      self->Stop();
+      self->Start();  // re-arm fresh: next fire one full period later
+    }
+  });
+  self = &task;
+  task.Start();
+  sim.RunUntil(Millis(45));
+  EXPECT_EQ(fired, 4);
+  task.Stop();
 }
 
 TEST(Stats, StatAccumulatorBasics) {
