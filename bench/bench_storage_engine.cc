@@ -46,8 +46,7 @@ struct AppendRun {
   double records_per_sec = 0.0;
   double mb_per_sec = 0.0;
   uint64_t syncs = 0;
-  double p50_us = 0.0;
-  double p99_us = 0.0;
+  StatAccumulator latency_us;
 };
 
 AppendRun MeasureAppends(size_t batch, uint64_t records) {
@@ -80,8 +79,7 @@ AppendRun MeasureAppends(size_t batch, uint64_t records) {
   run.mb_per_sec =
       static_cast<double>((*wal)->stats().bytes_appended) / seconds / (1024.0 * 1024.0);
   run.syncs = (*wal)->stats().syncs;
-  run.p50_us = latency_us.p50();
-  run.p99_us = latency_us.p99();
+  run.latency_us = latency_us;
   wal->reset();
   fs::remove_all(dir);
   return run;
@@ -96,12 +94,12 @@ void PrintAppendTable(BenchJson& json) {
   for (size_t batch : {size_t{1}, size_t{8}, size_t{64}, size_t{256}}) {
     AppendRun run = MeasureAppends(batch, kRecords);
     std::printf("  %-10zu %14.0f %10.1f %8llu %10.1f %10.1f\n", batch, run.records_per_sec,
-                run.mb_per_sec, static_cast<unsigned long long>(run.syncs), run.p50_us,
-                run.p99_us);
+                run.mb_per_sec, static_cast<unsigned long long>(run.syncs),
+                run.latency_us.p50(), run.latency_us.p99());
     const std::string prefix = "append.batch" + std::to_string(batch) + ".";
     json.Set(prefix + "records_per_sec", run.records_per_sec);
     json.Set(prefix + "mb_per_sec", run.mb_per_sec);
-    json.Set(prefix + "p99_us", run.p99_us);
+    json.SetStats(prefix + "latency_us.", run.latency_us);
   }
   PrintRule();
   std::printf("  batch 1 = no group commit (one fsync per record); larger batches\n");

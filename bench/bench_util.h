@@ -12,6 +12,8 @@
 #include <map>
 #include <string>
 
+#include "src/sim/stats.h"
+
 namespace publishing {
 
 inline void PrintHeader(const std::string& title) {
@@ -32,6 +34,19 @@ class BenchJson {
   explicit BenchJson(std::string name) : name_(std::move(name)) {}
 
   void Set(const std::string& key, double value) { values_[key] = value; }
+
+  // Expands one sample distribution into the standard summary keys
+  // (`<prefix>count`, `sum`, `mean`, `min`, `max`, `p50`, `p99`), matching
+  // the stats shape the metrics registry exports — one schema for both.
+  void SetStats(const std::string& prefix, const StatAccumulator& stats) {
+    Set(prefix + "count", static_cast<double>(stats.count()));
+    Set(prefix + "sum", stats.sum());
+    Set(prefix + "mean", stats.mean());
+    Set(prefix + "min", stats.min());
+    Set(prefix + "max", stats.max());
+    Set(prefix + "p50", stats.p50());
+    Set(prefix + "p99", stats.p99());
+  }
 
   // Writes BENCH_<name>.json into the current directory.  Returns false (and
   // complains on stderr) if the file cannot be written.

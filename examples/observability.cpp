@@ -13,9 +13,17 @@
 //                                 storage.group_commit windows, and the
 //                                 crash → replay → caught-up recovery arc,
 //   observability_metrics.json  — the aggregate counters/gauges/histograms,
+//   observability_lifecycle.json — the causal per-message lifecycle table
+//                                 (sent -> on-wire -> overheard -> published
+//                                 -> durable -> delivered -> read, with
+//                                 virtual-time latency per stage),
+//   observability_flight.json   — the crash flight recorder's dump, taken at
+//                                 the injection instant,
 //
 // and exits nonzero unless the trace actually contains events from all four
-// instrumented data-path layers plus the complete recovery timeline.
+// instrumented data-path layers plus the complete recovery timeline, the
+// invariant oracle saw zero violations, and at least one message's complete
+// lifecycle was captured.
 //
 //   $ ./observability
 
@@ -25,7 +33,10 @@
 
 #include "src/common/logging.h"
 #include "src/core/publishing_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/lifecycle.h"
 #include "src/obs/observability.h"
+#include "src/obs/oracle.h"
 #include "src/storage/wal.h"
 #include "tests/test_programs.h"
 
@@ -63,12 +74,24 @@ int main() {
   PublishingSystem system(config);
 
   // Attach the observability subsystem.  One registry + one tracer observe
-  // every layer; detaching (or never attaching) leaves runs bit-identical.
+  // every layer; the lifecycle tracker adds the causal per-message view and
+  // fans out to the invariant oracle and the crash flight recorder.
+  // Detaching (or never attaching) leaves runs bit-identical.
   MetricsRegistry registry;
   Tracer tracer(&system.sim());
+  InvariantOracle oracle;
+  FlightRecorder flight;
+  LifecycleTracker lifecycle(&system.sim());
+  lifecycle.AttachTracer(&tracer);
+  lifecycle.AttachMetrics(&registry);
+  lifecycle.AttachOracle(&oracle);
+  lifecycle.AttachFlightRecorder(&flight);
+  oracle.AttachFlightRecorder(&flight);
+  oracle.AttachMetrics(&registry);
   Observability obs;
   obs.metrics = &registry;
   obs.tracer = &tracer;
+  obs.lifecycle = &lifecycle;
   system.EnableObservability(obs);
 
   system.cluster().registry().Register("echo",
@@ -98,15 +121,24 @@ int main() {
   }
   system.RunFor(Seconds(2));
 
-  // Dump the artifacts.
+  oracle.CheckQuiescent();
+
+  // Dump the artifacts.  The flight dump was taken at the crash instant; we
+  // re-serialize it here for the file artifact.
   if (!tracer.WriteChromeJsonFile("observability_trace.json") ||
-      !registry.WriteJsonFile("observability_metrics.json")) {
+      !registry.WriteJsonFile("observability_metrics.json") ||
+      !lifecycle.WriteJsonFile("observability_lifecycle.json") ||
+      !WriteTextFile("observability_flight.json", flight.last_dump())) {
     std::fprintf(stderr, "cannot write observability artifacts\n");
     return 1;
   }
   std::printf("wrote observability_trace.json (%zu events, %llu dropped)\n", tracer.size(),
               static_cast<unsigned long long>(tracer.dropped()));
   std::printf("wrote observability_metrics.json (%zu instruments)\n", registry.size());
+  std::printf("wrote observability_lifecycle.json (%zu messages tracked)\n",
+              lifecycle.size());
+  std::printf("wrote observability_flight.json (dump %llu, reason: crash_process)\n",
+              static_cast<unsigned long long>(flight.dump_count()));
   std::printf("published %llu messages, recovery took the timeline below:\n",
               static_cast<unsigned long long>(
                   registry.GetCounter("recorder.messages_published")->value()));
@@ -129,6 +161,19 @@ int main() {
                 "metrics count one completed recovery");
   ok &= Require(registry.GetCounter("storage.syncs")->value() > 0,
                 "metrics saw WAL fsyncs");
+  ok &= Require(oracle.total_violations() == 0, "invariant oracle is clean");
+  ok &= Require(flight.dump_count() >= 1, "crash dumped the flight recorder");
+  ok &= Require(tracer.Contains("msg.lifecycle"), "trace has per-message spans");
+  bool full_chain = false;
+  for (const auto& [id, rec] : lifecycle.table()) {
+    full_chain = full_chain ||
+                 (rec.Saw(LifecycleStage::kSent) && rec.Saw(LifecycleStage::kOnWire) &&
+                  rec.Saw(LifecycleStage::kOverheard) &&
+                  rec.Saw(LifecycleStage::kPublished) &&
+                  rec.Saw(LifecycleStage::kDurable) &&
+                  rec.Saw(LifecycleStage::kDelivered) && rec.Saw(LifecycleStage::kRead));
+  }
+  ok &= Require(full_chain, "a complete message lifecycle was captured");
 
   fs::remove_all(dir);
   if (!ok) {

@@ -1,0 +1,359 @@
+#!/usr/bin/env python3
+"""Schema checks for the JSON artifacts the publishing repo emits.
+
+Validates the four artifact families against the shapes the C++ serializers
+promise, so CI catches schema drift (a renamed key, a null that sneaks in, a
+histogram losing its buckets) the moment it happens:
+
+  * BENCH_<name>.json            -- bench/bench_util.h BenchJson
+  * lifecycle table JSON         -- src/obs/lifecycle.cc TableToJson
+  * flight-recorder dump JSON    -- src/obs/flight_recorder.cc Dump
+  * metrics registry JSON        -- src/obs/metrics.cc ToJson
+  * Chrome trace JSON            -- src/obs/trace.cc Tracer export
+  * oracle report JSON           -- src/obs/oracle.cc ReportJson
+
+Shared rules: no null, no true/false (the obs serializers never emit them),
+and no NaN/Infinity (FormatMetricValue folds those to 0).
+
+Usage:
+  check_obs_json.py FILE...        classify each file by name/shape and check
+  check_obs_json.py --selftest     run the built-in good/bad examples
+
+Exit status 0 if every file passes, 1 otherwise.  Stdlib only.
+"""
+
+import json
+import math
+import os
+import sys
+
+LIFECYCLE_STAGES = {
+    "sent", "on_wire", "overheard", "published", "durable",
+    "delivered", "acked", "read", "replayed",
+}
+
+ORACLE_MONITORS = {
+    "recorder_completeness", "receive_order", "duplicate_delivery",
+    "durability_before_ack",
+}
+
+
+class SchemaError(Exception):
+    pass
+
+
+def fail(path, message):
+    raise SchemaError("%s: %s" % (path, message))
+
+
+def check_no_forbidden(value, path, where="$"):
+    """No null, no booleans, no non-finite numbers, anywhere."""
+    if value is None:
+        fail(path, "null at %s" % where)
+    if isinstance(value, bool):
+        fail(path, "boolean at %s" % where)
+    if isinstance(value, float) and not math.isfinite(value):
+        fail(path, "non-finite number at %s" % where)
+    if isinstance(value, dict):
+        for key, child in value.items():
+            check_no_forbidden(child, path, "%s.%s" % (where, key))
+    elif isinstance(value, list):
+        for i, child in enumerate(value):
+            check_no_forbidden(child, path, "%s[%d]" % (where, i))
+
+
+def require(condition, path, message):
+    if not condition:
+        fail(path, message)
+
+
+def is_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_bench(doc, path):
+    require(isinstance(doc, dict), path, "bench artifact must be an object")
+    require(isinstance(doc.get("bench"), str), path, 'missing string "bench" key')
+    for key, value in doc.items():
+        if key == "bench":
+            continue
+        require(is_number(value), path, "bench value %r must be a number" % key)
+
+
+def check_stage_entry(entry, path, where):
+    require(isinstance(entry, dict), path, "%s must be an object" % where)
+    require(is_number(entry.get("first_ms")), path, "%s.first_ms missing" % where)
+    require(is_number(entry.get("count")), path, "%s.count missing" % where)
+
+
+def check_lifecycle(doc, path):
+    require(isinstance(doc, dict), path, "lifecycle table must be an object")
+    require(is_number(doc.get("observed")), path, 'missing numeric "observed"')
+    require(is_number(doc.get("evicted")), path, 'missing numeric "evicted"')
+    messages = doc.get("messages")
+    require(isinstance(messages, list), path, 'missing "messages" array')
+    for i, msg in enumerate(messages):
+        where = "messages[%d]" % i
+        require(isinstance(msg, dict), path, "%s must be an object" % where)
+        require(isinstance(msg.get("id"), str), path, "%s.id missing" % where)
+        for key in ("origin", "dst_node", "flags", "hops"):
+            require(is_number(msg.get(key)), path, "%s.%s missing" % (where, key))
+        stages = msg.get("stages")
+        require(isinstance(stages, dict), path, "%s.stages missing" % where)
+        for stage, entry in stages.items():
+            require(stage in LIFECYCLE_STAGES, path,
+                    "%s: unknown stage %r" % (where, stage))
+            check_stage_entry(entry, path, "%s.stages.%s" % (where, stage))
+
+
+def check_flight(doc, path):
+    require(isinstance(doc, dict), path, "flight dump must be an object")
+    require(isinstance(doc.get("reason"), str), path, 'missing string "reason"')
+    require(isinstance(doc.get("detail"), str), path, 'missing string "detail"')
+    require(is_number(doc.get("per_node_capacity")), path,
+            'missing numeric "per_node_capacity"')
+    require(is_number(doc.get("recorded")), path, 'missing numeric "recorded"')
+    nodes = doc.get("nodes")
+    require(isinstance(nodes, list), path, 'missing "nodes" array')
+    for i, node in enumerate(nodes):
+        where = "nodes[%d]" % i
+        require(isinstance(node, dict), path, "%s must be an object" % where)
+        require(is_number(node.get("node")), path, "%s.node missing" % where)
+        events = node.get("events")
+        require(isinstance(events, list), path, "%s.events missing" % where)
+        last_seq = -1
+        for j, event in enumerate(events):
+            ewhere = "%s.events[%d]" % (where, j)
+            require(isinstance(event, dict), path, "%s must be an object" % ewhere)
+            for key in ("seq", "t_ms", "origin", "hop", "flags"):
+                require(is_number(event.get(key)), path,
+                        "%s.%s missing" % (ewhere, key))
+            require(isinstance(event.get("id"), str), path, "%s.id missing" % ewhere)
+            require(event.get("stage") in LIFECYCLE_STAGES, path,
+                    "%s: unknown stage %r" % (ewhere, event.get("stage")))
+            require(event["seq"] > last_seq, path,
+                    "%s: seq not increasing within the ring" % ewhere)
+            last_seq = event["seq"]
+
+
+def check_metrics(doc, path):
+    require(isinstance(doc, dict), path, "metrics export must be an object")
+    require(set(doc) == {"counters", "gauges", "histograms"}, path,
+            'top level must be exactly {"counters","gauges","histograms"}')
+    for group in ("counters", "gauges"):
+        require(isinstance(doc[group], dict), path, "%r must be an object" % group)
+        for key, value in doc[group].items():
+            require(is_number(value), path, "%s %r must be a number" % (group, key))
+    require(isinstance(doc["histograms"], dict), path, '"histograms" must be an object')
+    for key, value in doc["histograms"].items():
+        require(isinstance(value, dict), path, "histogram %r must be an object" % key)
+        for stat in ("count", "sum", "mean", "min", "max", "p50", "p99"):
+            require(is_number(value.get(stat)), path,
+                    "histogram %r missing %r" % (key, stat))
+        buckets = value.get("buckets")
+        require(isinstance(buckets, dict) and buckets, path,
+                "histogram %r missing buckets" % key)
+        require("inf" in buckets, path,
+                "histogram %r missing the overflow bucket" % key)
+        for bound, count in buckets.items():
+            require(is_number(count), path,
+                    "histogram %r bucket %r not a number" % (key, bound))
+
+
+def check_trace(doc, path):
+    require(isinstance(doc, dict), path, "trace must be an object")
+    events = doc.get("traceEvents")
+    require(isinstance(events, list), path, 'missing "traceEvents" array')
+    for i, event in enumerate(events):
+        where = "traceEvents[%d]" % i
+        require(isinstance(event, dict), path, "%s must be an object" % where)
+        require(isinstance(event.get("ph"), str), path, "%s.ph missing" % where)
+        require(isinstance(event.get("name"), str), path, "%s.name missing" % where)
+        for key in ("pid", "tid"):
+            require(is_number(event.get(key)), path, "%s.%s missing" % (where, key))
+    metadata = doc.get("metadata")
+    require(isinstance(metadata, dict), path, 'missing "metadata" footer')
+    for key in ("capacity", "droppedEvents", "retainedEvents"):
+        require(is_number(metadata.get(key)), path,
+                "metadata.%s missing (dropped-event accounting)" % key)
+
+
+def check_oracle(doc, path):
+    require(isinstance(doc, dict), path, "oracle report must be an object")
+    monitors = doc.get("monitors")
+    require(isinstance(monitors, dict), path, 'missing "monitors" object')
+    require(set(monitors) == ORACLE_MONITORS, path,
+            "monitors must be exactly %s" % sorted(ORACLE_MONITORS))
+    for name, monitor in monitors.items():
+        require(isinstance(monitor, dict), path, "monitor %r must be an object" % name)
+        require(monitor.get("enabled") in (0, 1), path,
+                "monitor %r enabled must be 0/1" % name)
+        require(is_number(monitor.get("violations")), path,
+                "monitor %r missing violations" % name)
+    require(is_number(doc.get("total_violations")), path,
+            'missing "total_violations"')
+    require(isinstance(doc.get("violations"), list), path,
+            'missing "violations" array')
+
+
+def classify(path, doc):
+    """Pick the checker from the filename, falling back to shape sniffing."""
+    base = os.path.basename(path)
+    if base.startswith("BENCH_"):
+        return check_bench
+    if "flightrec" in base or "flight" in base:
+        return check_flight
+    if "lifecycle" in base:
+        return check_lifecycle
+    if "oracle" in base:
+        return check_oracle
+    if "trace" in base:
+        return check_trace
+    if "metrics" in base:
+        return check_metrics
+    if isinstance(doc, dict):
+        if "bench" in doc:
+            return check_bench
+        if "reason" in doc and "nodes" in doc:
+            return check_flight
+        if "messages" in doc and "observed" in doc:
+            return check_lifecycle
+        if "monitors" in doc and "total_violations" in doc:
+            return check_oracle
+        if "traceEvents" in doc:
+            return check_trace
+    return check_metrics
+
+
+def check_file(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    # json.loads accepts NaN/Infinity by default; the artifacts must not.
+    doc = json.loads(text, parse_constant=lambda token: fail(path, "token %r" % token))
+    check_no_forbidden(doc, path)
+    checker = classify(path, doc)
+    checker(doc, path)
+    return checker.__name__.removeprefix("check_")
+
+
+# ---------------------------------------------------------------------------
+# Self-test
+# ---------------------------------------------------------------------------
+
+GOOD = {
+    "BENCH_example.json": '{"bench":"example","append.p99_us":12.5,"count":3}',
+    "observability_lifecycle.json":
+        '{"messages":[{"id":"msg(1.2#3)","origin":1,"dst_node":2,"flags":1,'
+        '"hops":0,"stages":{"sent":{"first_ms":0,"count":1},'
+        '"read":{"first_ms":1.5,"count":1}}}],"observed":2,"evicted":0}',
+    "flightrec-1-crash_process.json":
+        '{"reason":"crash_process","detail":"pid(2.2)","per_node_capacity":256,'
+        '"recorded":9,"nodes":[{"node":1,"events":[{"seq":0,"t_ms":0,'
+        '"stage":"sent","id":"msg(1.2#3)","origin":1,"hop":0,"flags":1},'
+        '{"seq":3,"t_ms":0.5,"stage":"on_wire","id":"msg(1.2#3)","origin":1,'
+        '"hop":0,"flags":1,"process":"pid(2.2)"}]}]}',
+    "observability_metrics.json":
+        '{"counters":{"net.frames_sent{medium=ack_ethernet}":41},'
+        '"gauges":{"storage.live_bytes":1024},'
+        '"histograms":{"lifecycle.since_sent_ms{stage=read}":{"count":2,'
+        '"sum":3.0,"mean":1.5,"min":1,"max":2,"stddev":0.5,"p50":1,"p99":2,'
+        '"buckets":{"0.001":0,"10":2,"inf":0}}}}',
+    "observability_trace.json":
+        '{"displayTimeUnit":"ms","traceEvents":[{"name":"msg.lifecycle",'
+        '"ph":"i","ts":0,"pid":1,"tid":2,"s":"p"}],'
+        '"metadata":{"capacity":65536,"droppedEvents":0,"retainedEvents":1}}',
+    "oracle_report.json":
+        '{"monitors":{"recorder_completeness":{"enabled":1,"violations":0},'
+        '"receive_order":{"enabled":1,"violations":0},'
+        '"duplicate_delivery":{"enabled":1,"violations":0},'
+        '"durability_before_ack":{"enabled":0,"violations":0}},'
+        '"total_violations":0,"violations":[]}',
+}
+
+BAD = {
+    # Non-numeric bench value.
+    "BENCH_bad.json": '{"bench":"bad","x":"fast"}',
+    # null is never legal.
+    "BENCH_null.json": '{"bench":"null","x":null}',
+    # Unknown lifecycle stage name.
+    "bad_lifecycle.json":
+        '{"messages":[{"id":"m","origin":1,"dst_node":2,"flags":0,"hops":0,'
+        '"stages":{"teleported":{"first_ms":0,"count":1}}}],'
+        '"observed":1,"evicted":0}',
+    # Ring seq must increase.
+    "flightrec-bad.json":
+        '{"reason":"explicit","detail":"","per_node_capacity":4,"recorded":2,'
+        '"nodes":[{"node":1,"events":[{"seq":5,"t_ms":0,"stage":"sent",'
+        '"id":"m","origin":1,"hop":0,"flags":0},{"seq":4,"t_ms":0,'
+        '"stage":"read","id":"m","origin":1,"hop":0,"flags":0}]}]}',
+    # Histogram without buckets.
+    "bad_metrics.json":
+        '{"counters":{},"gauges":{},"histograms":{"h":{"count":1,"sum":1,'
+        '"mean":1,"min":1,"max":1,"p50":1,"p99":1}}}',
+    # Trace footer must account for dropped events.
+    "bad_trace.json":
+        '{"displayTimeUnit":"ms","traceEvents":[],'
+        '"metadata":{"capacity":8,"retainedEvents":8}}',
+    # Boolean sneaking into an oracle report.
+    "bad_oracle.json":
+        '{"monitors":{"recorder_completeness":{"enabled":true,"violations":0},'
+        '"receive_order":{"enabled":1,"violations":0},'
+        '"duplicate_delivery":{"enabled":1,"violations":0},'
+        '"durability_before_ack":{"enabled":1,"violations":0}},'
+        '"total_violations":0,"violations":[]}',
+}
+
+
+def selftest():
+    import tempfile
+
+    failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for name, text in GOOD.items():
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            try:
+                kind = check_file(path)
+                print("selftest: PASS %-32s (%s)" % (name, kind))
+            except SchemaError as error:
+                print("selftest: FAIL %s unexpectedly rejected: %s" % (name, error))
+                failures += 1
+        for name, text in BAD.items():
+            path = os.path.join(tmp, name)
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            try:
+                check_file(path)
+                print("selftest: FAIL %s unexpectedly accepted" % name)
+                failures += 1
+            except SchemaError:
+                print("selftest: PASS %-32s (rejected as expected)" % name)
+    return failures
+
+
+def main(argv):
+    if len(argv) < 2 or argv[1] in ("-h", "--help"):
+        print(__doc__)
+        return 0 if len(argv) >= 2 else 1
+    if argv[1] == "--selftest":
+        failures = selftest()
+        print("selftest: %s" % ("OK" if failures == 0 else "%d failures" % failures))
+        return 1 if failures else 0
+
+    failures = 0
+    for path in argv[1:]:
+        try:
+            kind = check_file(path)
+            print("check_obs_json: OK %s (%s)" % (path, kind))
+        except SchemaError as error:
+            print("check_obs_json: SCHEMA ERROR %s" % error, file=sys.stderr)
+            failures += 1
+        except (OSError, json.JSONDecodeError) as error:
+            print("check_obs_json: ERROR %s: %s" % (path, error), file=sys.stderr)
+            failures += 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

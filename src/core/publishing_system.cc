@@ -95,10 +95,11 @@ void PublishingSystem::EnableObservability(const Observability& obs) {
   }
   cluster_->medium().SetObservability(obs, label);
   recorder_->SetObservability(obs);  // Covers the recorder's own endpoint.
+  storage_.SetLifecycle(obs.lifecycle, Cluster::kRecorderNode);
   for (NodeId node : cluster_->node_ids()) {
     NodeKernel* kernel = cluster_->kernel(node);
     if (kernel != nullptr) {
-      kernel->endpoint().SetObservability(obs);
+      kernel->SetObservability(obs);  // Endpoint + the kernel's read stages.
     }
   }
   recovery_->SetObservability(obs);
@@ -151,6 +152,11 @@ Status PublishingSystem::CrashProcess(const ProcessId& pid) {
   if (kernel == nullptr) {
     return Status(StatusCode::kNotFound, "process is not on a processing node");
   }
+  // Dump the causal history *at injection time*: the flight recorder rings
+  // still hold what led up to the crash.
+  if (obs_.lifecycle != nullptr) {
+    obs_.lifecycle->NoteFault("crash_process", ToString(pid));
+  }
   return kernel->CrashProcess(pid);
 }
 
@@ -159,8 +165,18 @@ Status PublishingSystem::CrashNode(NodeId node) {
   if (kernel == nullptr) {
     return Status(StatusCode::kNotFound, "no such node");
   }
+  if (obs_.lifecycle != nullptr) {
+    obs_.lifecycle->NoteFault("crash_node", ToString(node));
+  }
   kernel->CrashNode();
   return Status::Ok();
+}
+
+void PublishingSystem::CrashRecorder() {
+  if (obs_.lifecycle != nullptr) {
+    obs_.lifecycle->NoteFault("crash_recorder", ToString(Cluster::kRecorderNode));
+  }
+  recorder_->Crash();
 }
 
 bool PublishingSystem::RunUntilRecovered(const ProcessId& pid, SimDuration deadline) {

@@ -83,7 +83,7 @@ class PublishingSystem {
   // --- Fault injection ---
   Status CrashProcess(const ProcessId& pid);
   Status CrashNode(NodeId node);
-  void CrashRecorder() { recorder_->Crash(); }
+  void CrashRecorder();
   void RestartRecorder() { recorder_->Restart(); }
 
   // --- Run control ---

@@ -37,6 +37,7 @@ Recorder::~Recorder() = default;
 
 void Recorder::SetObservability(const Observability& obs) {
   tracer_ = obs.tracer;
+  lifecycle_ = obs.lifecycle;
   if (obs.metrics != nullptr) {
     obs_frames_seen_ = obs.metrics->GetCounter("recorder.frames_seen");
     obs_messages_published_ = obs.metrics->GetCounter("recorder.messages_published");
@@ -87,6 +88,13 @@ bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body)
     return false;
   }
   const size_t wire_bytes = wire_body.size();
+  if (lifecycle_ != nullptr) {
+    CausalContext ctx;
+    ctx.id = packet.header.id;
+    ctx.origin = packet.header.src_node;
+    ctx.flags = packet.header.flags;
+    lifecycle_->Observe(ctx, LifecycleStage::kOverheard, options_.node);
+  }
   if (packet.header.replay()) {
     ++stats_.replay_seen;
     return true;  // Recovery injections are already in the log.
@@ -128,6 +136,13 @@ bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body)
     storage_->AppendNodeMessage(packet.header.dst_node, packet.header.id, wire_body);
   } else {
     storage_->AppendMessage(packet.header.dst_process, packet.header.id, wire_body);
+  }
+  if (lifecycle_ != nullptr) {
+    CausalContext ctx;
+    ctx.id = packet.header.id;
+    ctx.origin = packet.header.src_node;
+    ctx.flags = packet.header.flags;
+    lifecycle_->Observe(ctx, LifecycleStage::kPublished, options_.node);
   }
   return true;
 }

@@ -132,6 +132,7 @@ class Recorder : public PromiscuousListener, public ReadOrderFeed {
 
   // Observability handles (null = detached).
   Tracer* tracer_ = nullptr;
+  LifecycleTracker* lifecycle_ = nullptr;
   Counter* obs_frames_seen_ = nullptr;
   Counter* obs_messages_published_ = nullptr;
   Counter* obs_bytes_published_ = nullptr;

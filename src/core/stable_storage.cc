@@ -14,7 +14,9 @@ StableStorage::StableStorage(StableStorage&& other) noexcept
       messages_stored_(other.messages_stored_),
       peak_bytes_(other.peak_bytes_),
       backend_(other.backend_),
-      clock_(std::move(other.clock_)) {
+      clock_(std::move(other.clock_)),
+      lifecycle_(other.lifecycle_),
+      lifecycle_node_(other.lifecycle_node_) {
   other.backend_ = nullptr;
   if (backend_ != nullptr) {
     // The backend's snapshot source captured `other`; re-point it here.
@@ -32,6 +34,8 @@ StableStorage& StableStorage::operator=(StableStorage&& other) noexcept {
     peak_bytes_ = other.peak_bytes_;
     backend_ = other.backend_;
     clock_ = std::move(other.clock_);
+    lifecycle_ = other.lifecycle_;
+    lifecycle_node_ = other.lifecycle_node_;
     other.backend_ = nullptr;
     if (backend_ != nullptr) {
       backend_->SetSnapshotSource([this] { return StorageJournal::SnapshotRecords(*this); });
@@ -104,6 +108,7 @@ void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Buf
     return;  // Duplicate of a frame we already published.
   }
   Journal(StorageJournal::EncodeAppendMessage(pid, id, packet));
+  ObserveDurable(id);
   LogEntry entry;
   entry.id = id;
   entry.arrival = next_arrival_++;
@@ -259,6 +264,7 @@ void StableStorage::AppendNodeMessage(NodeId node, const MessageId& id, Buffer p
     return;  // Retransmission of an already-published frame.
   }
   Journal(StorageJournal::EncodeAppendNodeMessage(node, id, packet));
+  ObserveDurable(id);
   NodeLogEntry entry;
   entry.id = id;
   entry.arrival = next_arrival_++;

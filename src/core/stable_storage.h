@@ -29,6 +29,7 @@
 #include "src/common/serialization.h"
 #include "src/common/status.h"
 #include "src/demos/link.h"
+#include "src/obs/lifecycle.h"
 #include "src/storage/storage_backend.h"
 
 namespace publishing {
@@ -85,6 +86,14 @@ class StableStorage {
   void set_clock(std::function<uint64_t()> clock) { clock_ = std::move(clock); }
   // Forces every journaled record durable (no-op without a backend).
   Status Flush();
+
+  // Lifecycle sink: effective message appends observe kDurable (the append
+  // is journaled — or, without a backend, stable by the in-memory model).
+  // `node` is the recorder node the storage belongs to.  nullptr detaches.
+  void SetLifecycle(LifecycleTracker* lifecycle, NodeId node) {
+    lifecycle_ = lifecycle;
+    lifecycle_node_ = node;
+  }
 
   // --- Process lifecycle ---
   void RecordCreation(const ProcessId& pid, const std::string& program,
@@ -195,6 +204,16 @@ class StableStorage {
 
   ProcessLog& Ensure(const ProcessId& pid);
   void RefreshAccounting();
+  void ObserveDurable(const MessageId& id) {
+    if (lifecycle_ == nullptr) {
+      return;
+    }
+    CausalContext ctx;
+    ctx.id = id;
+    ctx.origin = id.sender.origin;
+    ctx.flags = kCausalGuaranteed;  // Only guaranteed traffic is published.
+    lifecycle_->Observe(ctx, LifecycleStage::kDurable, lifecycle_node_);
+  }
   // Appends one record to the attached backend (no-op without one).
   void Journal(Bytes record);
 
@@ -206,6 +225,8 @@ class StableStorage {
   size_t peak_bytes_ = 0;
   StorageBackend* backend_ = nullptr;
   std::function<uint64_t()> clock_;
+  LifecycleTracker* lifecycle_ = nullptr;
+  NodeId lifecycle_node_;
 };
 
 }  // namespace publishing

@@ -376,6 +376,7 @@ void NodeKernel::DispatchLoop(const ProcessId& pid) {
           !options_.node_unit_mode) {
         read_order_feed_->OnMessageRead(proc->pid, msg.id);
       }
+      ObserveRead(proc->pid, msg);
       HandleDeliverToKernel(*proc, msg);
       BumpNodeStep();
       if (Find(pid) == nullptr) {
@@ -433,6 +434,7 @@ void NodeKernel::CompleteHandler(const ProcessId& pid, const QueuedMessage& msg,
       !options_.node_unit_mode) {
     read_order_feed_->OnMessageRead(proc->pid, msg.id);
   }
+  ObserveRead(proc->pid, msg);
   proc->handler_busy = false;
   proc->busy_until = sim_->Now() + charged;
   BumpNodeStep();
@@ -719,6 +721,22 @@ void NodeKernel::HandleCreateOnThisNode(const CreateProcessRequest& req,
   }
 }
 
+void NodeKernel::SetObservability(const Observability& obs) {
+  endpoint_->SetObservability(obs);
+  lifecycle_ = obs.lifecycle;
+}
+
+void NodeKernel::ObserveRead(const ProcessId& reader, const QueuedMessage& msg) {
+  if (lifecycle_ == nullptr) {
+    return;
+  }
+  CausalContext ctx;
+  ctx.id = msg.id;
+  ctx.origin = msg.id.sender.origin;
+  ctx.flags = msg.packet_flags;
+  lifecycle_->Observe(ctx, LifecycleStage::kRead, node_, reader);
+}
+
 void NodeKernel::HandleRecreateRequest(const Packet& packet) {
   auto req = DecodeRecreateRequest(packet.body);
   if (!req.ok()) {
@@ -727,6 +745,11 @@ void NodeKernel::HandleRecreateRequest(const Packet& packet) {
   // "If the process already exists, it is destroyed" (§4.7).
   DestroyProcessInternal(req->pid, /*notify=*/false);
   processes_.erase(req->pid);
+  // New incarnation: per-incarnation invariants (duplicate delivery,
+  // receive-order across recovery) roll their state here.
+  if (lifecycle_ != nullptr) {
+    lifecycle_->NoteProcessReset(req->pid);
+  }
 
   auto instance = registry_->Instantiate(req->program);
   if (!instance.ok()) {

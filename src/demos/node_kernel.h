@@ -200,6 +200,10 @@ class NodeKernel {
   const KernelStats& stats() const { return stats_; }
   TransportEndpoint& endpoint() { return *endpoint_; }
 
+  // Forwards to the transport endpoint and keeps the lifecycle sink for the
+  // kernel's own stages (message reads, process recreation).
+  void SetObservability(const Observability& obs);
+
   void set_read_order_feed(ReadOrderFeed* feed) { read_order_feed_ = feed; }
 
   // Wires the process-manager address once the system processes exist.
@@ -296,6 +300,7 @@ class NodeKernel {
   ProcessRecord* Find(const ProcessId& pid);
   const ProcessRecord* Find(const ProcessId& pid) const;
   void ChargeKernel(SimDuration cpu);
+  void ObserveRead(const ProcessId& reader, const QueuedMessage& msg);
 
   Simulator* sim_;
   Medium* medium_;
@@ -305,6 +310,7 @@ class NodeKernel {
   KernelOptions options_;
   std::unique_ptr<TransportEndpoint> endpoint_;
   ReadOrderFeed* read_order_feed_ = nullptr;
+  LifecycleTracker* lifecycle_ = nullptr;
 
   bool up_ = true;
   uint32_t next_local_id_ = 2;  // 1 is the kernel process.

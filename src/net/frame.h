@@ -13,6 +13,7 @@
 #include "src/common/buffer.h"
 #include "src/common/ids.h"
 #include "src/common/serialization.h"
+#include "src/obs/causal.h"
 
 namespace publishing {
 
@@ -41,6 +42,11 @@ struct Frame {
   // Set by fault injection when the copy handed to a receiver was damaged in
   // flight; the link layer CRC check will reject it.
   bool corrupted = false;
+  // Observability sidecar stamped by the sending transport endpoint: carries
+  // the payload packet's message id/origin/attempt so every layer that sees
+  // the frame can key its lifecycle observation without re-parsing the
+  // payload.  POD, not serialized, zero bytes on the simulated wire.
+  CausalContext causal;
 
   // Physical size on the wire: payload plus preamble/addresses/type header.
   size_t WireBytes() const { return payload.size() + kHeaderBytes; }

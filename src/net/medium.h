@@ -130,6 +130,7 @@ class Medium {
   // the tracer for per-transmission spans.  Null members detach.
   void SetObservability(const Observability& obs, std::string_view label) {
     tracer_ = obs.tracer;
+    lifecycle_ = obs.lifecycle;
     if (obs.metrics != nullptr) {
       const MetricLabels labels = {{"medium", std::string(label)}};
       obs_frames_sent_ = obs.metrics->GetCounter("net.frames_sent", labels);
@@ -216,6 +217,11 @@ class Medium {
       obs_frames_sent_->Add(1);
       obs_bytes_sent_->Add(frame.WireBytes());
     }
+    // Ack frames carry no causal stamp (the ack stage is observed by the
+    // transport, which still knows the acked packet's flags).
+    if (lifecycle_ != nullptr && frame.causal.valid() && frame.type != FrameType::kAck) {
+      lifecycle_->Observe(frame.causal, LifecycleStage::kOnWire, frame.src);
+    }
   }
   void NoteQueueDelay(double delay_ms) {
     stats_.queue_delay_ms.Add(delay_ms);
@@ -292,6 +298,7 @@ class Medium {
 
   // Observability handles (null = detached).
   Tracer* tracer_ = nullptr;
+  LifecycleTracker* lifecycle_ = nullptr;
   Counter* obs_frames_sent_ = nullptr;
   Counter* obs_bytes_sent_ = nullptr;
   Counter* obs_frames_delivered_ = nullptr;

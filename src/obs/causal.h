@@ -1,0 +1,78 @@
+// Causal message-lifecycle vocabulary shared by every instrumented layer.
+//
+// A CausalContext is stamped onto each wire frame at transport send and rides
+// the frame unchanged through link wrap/unwrap, the medium, the recorder tap,
+// and delivery, so every observation of the same message — at any layer, on
+// any node — keys to one lifecycle record.  The stages below are the
+// end-to-end story of a published message:
+//
+//   sent -> on-wire -> overheard -> published -> durable -> delivered -> read
+//                                                     (or -> replayed, after
+//                                                      a crash)
+//
+// plus `acked` (the receiver's end-to-end acknowledgement, which the
+// durability-before-ack invariant watches).  Stage observations are plain
+// data handed to a LifecycleTracker; with no tracker attached the hooks are
+// untaken branches and runs stay bit-identical to the seed behaviour.
+
+#ifndef SRC_OBS_CAUSAL_H_
+#define SRC_OBS_CAUSAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/ids.h"
+#include "src/sim/time.h"
+
+namespace publishing {
+
+// Mirror of the transport PacketFlags bit layout (src/transport/packet.h).
+// Redeclared here so src/obs stays below src/transport in the layering; the
+// transport endpoint static_asserts the two stay in sync.
+inline constexpr uint8_t kCausalGuaranteed = 1 << 0;
+inline constexpr uint8_t kCausalReplay = 1 << 2;
+inline constexpr uint8_t kCausalControl = 1 << 3;
+
+// Stamped into every Frame by the sending transport endpoint.
+struct CausalContext {
+  MessageId id;       // The carried packet's globally unique message id.
+  NodeId origin;      // Node that stamped the context (the sender).
+  uint32_t hop = 0;   // Transmission attempt: 0 first send, +1 per retransmit.
+  uint8_t flags = 0;  // The packet's flag bits (kCausal* layout).
+
+  bool valid() const { return id.IsValid(); }
+  bool guaranteed() const { return (flags & kCausalGuaranteed) != 0; }
+  bool replay() const { return (flags & kCausalReplay) != 0; }
+  bool control() const { return (flags & kCausalControl) != 0; }
+};
+
+enum class LifecycleStage : uint8_t {
+  kSent = 0,       // Accepted by the sending transport endpoint.
+  kOnWire = 1,     // Transmission started on the medium.
+  kOverheard = 2,  // The recorder's promiscuous tap parsed it.
+  kPublished = 3,  // Appended to the recorder's stable storage.
+  kDurable = 4,    // The append was journaled (WAL or in-memory model).
+  kDelivered = 5,  // The destination transport handed it up, live.
+  kAcked = 6,      // The destination sent the end-to-end acknowledgement.
+  kRead = 7,       // The destination process consumed it.
+  kReplayed = 8,   // Re-injected delivery during recovery replay.
+};
+
+inline constexpr size_t kLifecycleStageCount = 9;
+
+const char* LifecycleStageName(LifecycleStage stage);
+
+// One stage observation.  `node` is where the stage happened; `process` is
+// the destination/reader when the observing layer knows it.
+struct LifecycleEvent {
+  CausalContext ctx;
+  LifecycleStage stage = LifecycleStage::kSent;
+  SimTime time = 0;
+  NodeId node;
+  ProcessId process;
+  uint64_t seq = 0;  // Global observation order, assigned by the tracker.
+};
+
+}  // namespace publishing
+
+#endif  // SRC_OBS_CAUSAL_H_

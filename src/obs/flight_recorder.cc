@@ -1,0 +1,83 @@
+#include "src/obs/flight_recorder.h"
+
+#include "src/obs/metrics.h"
+
+namespace publishing {
+
+FlightRecorder::FlightRecorder(size_t per_node_capacity)
+    : per_node_capacity_(per_node_capacity == 0 ? 1 : per_node_capacity) {}
+
+void FlightRecorder::Record(const LifecycleEvent& event) {
+  Ring& ring = rings_[event.node];
+  if (ring.events.size() < per_node_capacity_) {
+    ring.events.push_back(event);
+  } else {
+    ring.events[ring.head] = event;
+    ring.head = (ring.head + 1) % per_node_capacity_;
+    ring.full = true;
+  }
+  ++recorded_;
+}
+
+std::vector<LifecycleEvent> FlightRecorder::NodeEvents(NodeId node) const {
+  std::vector<LifecycleEvent> out;
+  auto it = rings_.find(node);
+  if (it == rings_.end()) {
+    return out;
+  }
+  const Ring& ring = it->second;
+  out.reserve(ring.events.size());
+  for (size_t i = 0; i < ring.events.size(); ++i) {
+    out.push_back(ring.events[(ring.head + i) % ring.events.size()]);
+  }
+  return out;
+}
+
+std::string FlightRecorder::Dump(const std::string& reason, const std::string& detail) {
+  std::string out = "{\"reason\":\"" + JsonEscape(reason) + '"';
+  out += ",\"detail\":\"" + JsonEscape(detail) + '"';
+  out += ",\"per_node_capacity\":" + std::to_string(per_node_capacity_);
+  out += ",\"recorded\":" + std::to_string(recorded_);
+  out += ",\"nodes\":[";
+  bool first_node = true;
+  for (const auto& [node, ring] : rings_) {
+    if (!first_node) {
+      out += ',';
+    }
+    first_node = false;
+    out += "{\"node\":" + std::to_string(node.value) + ",\"events\":[";
+    bool first_event = true;
+    for (size_t i = 0; i < ring.events.size(); ++i) {
+      const LifecycleEvent& event = ring.events[(ring.head + i) % ring.events.size()];
+      if (!first_event) {
+        out += ',';
+      }
+      first_event = false;
+      out += "{\"seq\":" + std::to_string(event.seq);
+      out += ",\"t_ms\":" + FormatMetricValue(ToMillis(event.time));
+      out += ",\"stage\":\"";
+      out += LifecycleStageName(event.stage);
+      out += "\",\"id\":\"" + JsonEscape(ToString(event.ctx.id)) + '"';
+      out += ",\"origin\":" + std::to_string(event.ctx.origin.value);
+      out += ",\"hop\":" + std::to_string(event.ctx.hop);
+      out += ",\"flags\":" + std::to_string(event.ctx.flags);
+      if (event.process.IsValid()) {
+        out += ",\"process\":\"" + JsonEscape(ToString(event.process)) + '"';
+      }
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+
+  last_dump_ = out;
+  ++dump_count_;
+  if (!dump_dir_.empty()) {
+    const std::string path = dump_dir_ + "/flightrec-" + std::to_string(dump_count_) +
+                             "-" + reason + ".json";
+    WriteTextFile(path, out);
+  }
+  return out;
+}
+
+}  // namespace publishing

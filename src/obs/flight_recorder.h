@@ -1,0 +1,75 @@
+// Crash flight recorder: a bounded ring of recent lifecycle events per node.
+//
+// The tracker's table answers "what happened to message X overall"; the
+// flight recorder answers "what were the last N things each node saw before
+// the crash".  Every lifecycle observation is appended to the ring of the
+// node it happened on; when a fault is injected, an oracle monitor trips, or
+// a test asks explicitly, Dump() serializes every ring — nodes sorted by id,
+// events in observation order — into one deterministic JSON document, and
+// optionally writes it to `<dir>/flightrec-<n>-<reason>.json` for CI to pick
+// up as a failure artifact.
+//
+// Identical runs produce byte-identical dumps: all timestamps are virtual,
+// event sequence numbers come from the tracker, and the serialization uses
+// the fixed obs number formatting.
+
+#ifndef SRC_OBS_FLIGHT_RECORDER_H_
+#define SRC_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/ids.h"
+#include "src/obs/causal.h"
+
+namespace publishing {
+
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultPerNodeCapacity = 256;
+
+  explicit FlightRecorder(size_t per_node_capacity = kDefaultPerNodeCapacity);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  // When set, every Dump() is also written to
+  // `<dir>/flightrec-<dump_count>-<reason>.json` (directory must exist).
+  void SetDumpDirectory(std::string dir) { dump_dir_ = std::move(dir); }
+
+  // Appends `event` to the ring of `event.node`, evicting the oldest entry
+  // once the ring is full.
+  void Record(const LifecycleEvent& event);
+
+  // Serializes all rings into one deterministic JSON document and retains it
+  // as last_dump().  `reason` is a short machine tag ("crash_process",
+  // "oracle_violation", "explicit", ...); `detail` is free-form.
+  std::string Dump(const std::string& reason, const std::string& detail = "");
+
+  size_t per_node_capacity() const { return per_node_capacity_; }
+  uint64_t recorded() const { return recorded_; }
+  uint64_t dump_count() const { return dump_count_; }
+  const std::string& last_dump() const { return last_dump_; }
+  // Events currently retained for `node`, oldest first.
+  std::vector<LifecycleEvent> NodeEvents(NodeId node) const;
+
+ private:
+  struct Ring {
+    std::vector<LifecycleEvent> events;  // Ring storage, oldest at `head`.
+    size_t head = 0;
+    bool full = false;
+  };
+
+  size_t per_node_capacity_;
+  std::map<NodeId, Ring> rings_;
+  uint64_t recorded_ = 0;
+  uint64_t dump_count_ = 0;
+  std::string last_dump_;
+  std::string dump_dir_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_OBS_FLIGHT_RECORDER_H_

@@ -1,0 +1,253 @@
+#include "src/obs/lifecycle.h"
+
+#include <utility>
+
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+#include "src/obs/oracle.h"
+#include "src/obs/trace.h"
+#include "src/sim/simulator.h"
+
+namespace publishing {
+
+const char* LifecycleStageName(LifecycleStage stage) {
+  switch (stage) {
+    case LifecycleStage::kSent:
+      return "sent";
+    case LifecycleStage::kOnWire:
+      return "on_wire";
+    case LifecycleStage::kOverheard:
+      return "overheard";
+    case LifecycleStage::kPublished:
+      return "published";
+    case LifecycleStage::kDurable:
+      return "durable";
+    case LifecycleStage::kDelivered:
+      return "delivered";
+    case LifecycleStage::kAcked:
+      return "acked";
+    case LifecycleStage::kRead:
+      return "read";
+    case LifecycleStage::kReplayed:
+      return "replayed";
+  }
+  return "unknown";
+}
+
+LifecycleTracker::LifecycleTracker(const Simulator* sim, size_t max_messages)
+    : sim_(sim), max_messages_(max_messages == 0 ? 1 : max_messages) {}
+
+void LifecycleTracker::AttachTracer(Tracer* tracer) {
+  tracer_ = tracer;
+  if (tracer_ != nullptr) {
+    tracer_->SetTrackName(obs_track::kLifecycle, "lifecycle");
+  }
+}
+
+void LifecycleTracker::AttachMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    for (size_t i = 0; i < kLifecycleStageCount; ++i) {
+      stage_counters_[i] = nullptr;
+      since_sent_ms_[i] = nullptr;
+    }
+    faults_ = nullptr;
+    evictions_ = nullptr;
+    return;
+  }
+  for (size_t i = 0; i < kLifecycleStageCount; ++i) {
+    const char* stage = LifecycleStageName(static_cast<LifecycleStage>(i));
+    stage_counters_[i] = metrics->GetCounter("lifecycle.stage", {{"stage", stage}});
+    // sent -> sent latency is always zero; no histogram for it.
+    since_sent_ms_[i] =
+        i == 0 ? nullptr
+               : metrics->GetHistogram("lifecycle.since_sent_ms", {{"stage", stage}});
+  }
+  faults_ = metrics->GetCounter("lifecycle.faults");
+  evictions_ = metrics->GetCounter("lifecycle.evictions");
+}
+
+LifecycleRecord& LifecycleTracker::FindOrCreate(const CausalContext& ctx) {
+  auto it = table_.find(ctx.id);
+  if (it != table_.end()) {
+    return it->second;
+  }
+  while (table_.size() >= max_messages_ && !insertion_order_.empty()) {
+    const MessageId victim = insertion_order_.front();
+    insertion_order_.pop_front();
+    if (table_.erase(victim) > 0) {
+      ++evicted_;
+      if (evictions_ != nullptr) {
+        evictions_->Add();
+      }
+    }
+  }
+  it = table_.emplace(ctx.id, LifecycleRecord{}).first;
+  it->second.id = ctx.id;
+  it->second.origin = ctx.origin;
+  it->second.first_seq = next_seq_;
+  insertion_order_.push_back(ctx.id);
+  return it->second;
+}
+
+void LifecycleTracker::Observe(const CausalContext& ctx, LifecycleStage stage,
+                               NodeId node, ProcessId process) {
+  if (!ctx.valid()) {
+    return;
+  }
+  LifecycleEvent event;
+  event.ctx = ctx;
+  event.stage = stage;
+  event.time = sim_->Now();
+  event.node = node;
+  event.process = process;
+  event.seq = next_seq_++;
+
+  const size_t s = static_cast<size_t>(stage);
+  LifecycleRecord& rec = FindOrCreate(ctx);
+  rec.flags |= ctx.flags;
+  if (ctx.hop > rec.max_hop) {
+    rec.max_hop = ctx.hop;
+  }
+  const bool stage_first = rec.count[s] == 0;
+  ++rec.count[s];
+  if (stage_first) {
+    rec.first_time[s] = event.time;
+    if (stage == LifecycleStage::kDelivered || stage == LifecycleStage::kReplayed) {
+      rec.dst_node = node;
+    }
+    if (stage == LifecycleStage::kRead && process.IsValid()) {
+      rec.dst_process = process;
+    }
+  }
+
+  if (stage_counters_[s] != nullptr) {
+    stage_counters_[s]->Add();
+  }
+  const SimTime sent_at = rec.FirstTime(LifecycleStage::kSent);
+  if (since_sent_ms_[s] != nullptr && sent_at >= 0 && stage != LifecycleStage::kSent) {
+    since_sent_ms_[s]->Observe(ToMillis(event.time - sent_at));
+  }
+
+  if (tracer_ != nullptr) {
+    if (stage == LifecycleStage::kSent && stage_first) {
+      rec.span_id = tracer_->BeginSpan("msg.lifecycle", "lifecycle",
+                                       obs_track::kLifecycle,
+                                       {{"id", ToString(ctx.id)}});
+    }
+    if (stage_first && stage != LifecycleStage::kSent) {
+      tracer_->Instant(std::string("msg.") + LifecycleStageName(stage), "lifecycle",
+                       obs_track::kLifecycle, {{"id", ToString(ctx.id)}});
+    }
+    if (stage == LifecycleStage::kRead && rec.span_id != 0) {
+      tracer_->EndSpan(rec.span_id, "msg.lifecycle", "lifecycle",
+                       obs_track::kLifecycle, {{"id", ToString(ctx.id)}});
+      rec.span_id = 0;
+    }
+  }
+
+  // Flight recorder before the oracle: a violation dump must include the
+  // event that tripped it.
+  if (flight_ != nullptr) {
+    flight_->Record(event);
+  }
+  if (oracle_ != nullptr) {
+    oracle_->OnEvent(event);
+  }
+}
+
+void LifecycleTracker::NoteProcessReset(const ProcessId& pid) {
+  if (tracer_ != nullptr) {
+    tracer_->Instant("process.reset", "lifecycle", obs_track::kLifecycle,
+                     {{"process", ToString(pid)}});
+  }
+  if (oracle_ != nullptr) {
+    oracle_->OnProcessReset(pid);
+  }
+}
+
+void LifecycleTracker::NoteFault(const std::string& kind, const std::string& detail) {
+  if (faults_ != nullptr) {
+    faults_->Add();
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("fault." + kind, "lifecycle", obs_track::kLifecycle,
+                     {{"detail", detail}});
+  }
+  if (flight_ != nullptr) {
+    flight_->Dump(kind, detail);
+  }
+}
+
+const LifecycleRecord* LifecycleTracker::Find(const MessageId& id) const {
+  auto it = table_.find(id);
+  return it == table_.end() ? nullptr : &it->second;
+}
+
+std::string LifecycleTracker::TableToJson() const {
+  std::string out = "{\"messages\":[";
+  bool first_rec = true;
+  for (const auto& [id, rec] : table_) {
+    if (!first_rec) {
+      out += ',';
+    }
+    first_rec = false;
+    out += "{\"id\":\"" + JsonEscape(ToString(id)) + '"';
+    out += ",\"origin\":" + std::to_string(rec.origin.value);
+    out += ",\"dst_node\":" + std::to_string(rec.dst_node.value);
+    if (rec.dst_process.IsValid()) {
+      out += ",\"dst_process\":\"" + JsonEscape(ToString(rec.dst_process)) + '"';
+    }
+    out += ",\"flags\":" + std::to_string(rec.flags);
+    out += ",\"hops\":" + std::to_string(rec.max_hop);
+    out += ",\"stages\":{";
+    bool first_stage = true;
+    for (size_t s = 0; s < kLifecycleStageCount; ++s) {
+      if (rec.count[s] == 0) {
+        continue;
+      }
+      if (!first_stage) {
+        out += ',';
+      }
+      first_stage = false;
+      out += '"';
+      out += LifecycleStageName(static_cast<LifecycleStage>(s));
+      out += "\":{\"first_ms\":" + FormatMetricValue(ToMillis(rec.first_time[s]));
+      out += ",\"count\":" + std::to_string(rec.count[s]) + '}';
+    }
+    out += "}}";
+  }
+  out += "],\"observed\":" + std::to_string(next_seq_);
+  out += ",\"evicted\":" + std::to_string(evicted_) + '}';
+  return out;
+}
+
+std::string LifecycleTracker::TableToCsv() const {
+  std::string out = "id,origin,dst_node,flags,hops,stage,first_ms,count\n";
+  for (const auto& [id, rec] : table_) {
+    for (size_t s = 0; s < kLifecycleStageCount; ++s) {
+      if (rec.count[s] == 0) {
+        continue;
+      }
+      out += '"' + ToString(id) + "\",";
+      out += std::to_string(rec.origin.value) + ',';
+      out += std::to_string(rec.dst_node.value) + ',';
+      out += std::to_string(rec.flags) + ',';
+      out += std::to_string(rec.max_hop) + ',';
+      out += LifecycleStageName(static_cast<LifecycleStage>(s));
+      out += ',';
+      out += FormatMetricValue(ToMillis(rec.first_time[s]));
+      out += ',' + std::to_string(rec.count[s]) + '\n';
+    }
+  }
+  return out;
+}
+
+bool LifecycleTracker::WriteJsonFile(const std::string& path) const {
+  return WriteTextFile(path, TableToJson());
+}
+
+bool LifecycleTracker::WriteCsvFile(const std::string& path) const {
+  return WriteTextFile(path, TableToCsv());
+}
+
+}  // namespace publishing

@@ -29,20 +29,24 @@ void AppendHistogramJson(std::string& out, const Histogram& h) {
   out += ",\"stddev\":" + FormatMetricValue(s.stddev());
   out += ",\"p50\":" + FormatMetricValue(s.p50());
   out += ",\"p99\":" + FormatMetricValue(s.p99());
-  out += "}";
-}
-
-bool WriteStringToFile(const std::string& path, const std::string& content) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return false;
+  out += ",\"buckets\":{";
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    // %g, not the %.17g of FormatMetricValue: the bounds are human-chosen
+    // decade constants and the keys are schema ("0.1", never
+    // "0.10000000000000001").
+    char bound[32];
+    if (i + 1 < Histogram::kBucketCount) {
+      std::snprintf(bound, sizeof(bound), "%g", Histogram::kBucketBounds[i]);
+    }
+    out += i + 1 < Histogram::kBucketCount ? std::string(bound)
+                                           : std::string("inf");
+    out += "\":" + FormatMetricValue(static_cast<double>(h.bucket(i)));
   }
-  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  const bool ok = written == content.size() && std::fclose(f) == 0;
-  if (!ok && written != content.size()) {
-    std::fclose(f);
-  }
-  return ok;
+  out += "}}";
 }
 
 }  // namespace
@@ -188,12 +192,25 @@ std::string MetricsRegistry::ToCsv() const {
   return out;
 }
 
+bool WriteTextFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return false;
+  }
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  const bool ok = written == content.size() && std::fclose(f) == 0;
+  if (!ok && written != content.size()) {
+    std::fclose(f);
+  }
+  return ok;
+}
+
 bool MetricsRegistry::WriteJsonFile(const std::string& path) const {
-  return WriteStringToFile(path, ToJson());
+  return WriteTextFile(path, ToJson());
 }
 
 bool MetricsRegistry::WriteCsvFile(const std::string& path) const {
-  return WriteStringToFile(path, ToCsv());
+  return WriteTextFile(path, ToCsv());
 }
 
 }  // namespace publishing

@@ -65,11 +65,47 @@ class Gauge {
 
 class Histogram {
  public:
-  void Observe(double sample) { stats_.Add(sample); }
+  // Upper bounds of the export buckets (exponential decades).  Samples above
+  // the last bound land in the overflow bucket, exported as "inf".  The JSON
+  // export emits per-bucket (non-cumulative) counts keyed by upper bound, in
+  // increasing-bound order, alongside count/sum — self-describing without a
+  // side channel.
+  static constexpr double kBucketBounds[] = {0.001, 0.01, 0.1, 1.0,
+                                             10.0,  100.0, 1000.0, 10000.0};
+  static constexpr size_t kBucketCount =
+      sizeof(kBucketBounds) / sizeof(kBucketBounds[0]) + 1;  // + overflow.
+
+  void Observe(double sample) {
+    stats_.Add(sample);
+    ++buckets_[BucketIndex(sample)];
+  }
   const StatAccumulator& stats() const { return stats_; }
 
+  // Convenience accessors mirroring StatAccumulator, so call sites don't
+  // reach through stats() for the common summary values.
+  uint64_t count() const { return stats_.count(); }
+  double sum() const { return stats_.sum(); }
+  double mean() const { return stats_.mean(); }
+  double min() const { return stats_.min(); }
+  double max() const { return stats_.max(); }
+  double p50() const { return stats_.p50(); }
+  double p99() const { return stats_.p99(); }
+
+  // Samples in bucket `i` (the overflow bucket is i == kBucketCount - 1).
+  uint64_t bucket(size_t i) const { return buckets_[i]; }
+
  private:
+  static size_t BucketIndex(double sample) {
+    for (size_t i = 0; i < kBucketCount - 1; ++i) {
+      if (sample <= kBucketBounds[i]) {
+        return i;
+      }
+    }
+    return kBucketCount - 1;
+  }
+
   StatAccumulator stats_;
+  uint64_t buckets_[kBucketCount] = {};
 };
 
 class MetricsRegistry {
@@ -119,6 +155,10 @@ std::string JsonEscape(std::string_view s);
 // without a fraction, others with up to 17 significant digits (round-trip
 // exact, deterministic across runs).
 std::string FormatMetricValue(double value);
+
+// Writes `content` to `path`, the way every obs exporter does.  Returns
+// false on I/O failure.
+bool WriteTextFile(const std::string& path, std::string_view content);
 
 }  // namespace publishing
 

@@ -19,6 +19,7 @@
 #ifndef SRC_OBS_OBSERVABILITY_H_
 #define SRC_OBS_OBSERVABILITY_H_
 
+#include "src/obs/lifecycle.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 
@@ -27,8 +28,13 @@ namespace publishing {
 struct Observability {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  // The causal sink: per-message lifecycle tracking, and through its
+  // attachments the invariant oracle and the flight recorder (lifecycle.h).
+  LifecycleTracker* lifecycle = nullptr;
 
-  bool enabled() const { return metrics != nullptr || tracer != nullptr; }
+  bool enabled() const {
+    return metrics != nullptr || tracer != nullptr || lifecycle != nullptr;
+  }
 };
 
 // RAII complete-span: opens at construction, emits on destruction.  A null

@@ -1,0 +1,246 @@
+#include "src/obs/oracle.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "src/common/logging.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/metrics.h"
+
+namespace publishing {
+
+const char* OracleMonitorName(OracleMonitor monitor) {
+  switch (monitor) {
+    case OracleMonitor::kRecorderCompleteness:
+      return "recorder_completeness";
+    case OracleMonitor::kReceiveOrder:
+      return "receive_order";
+    case OracleMonitor::kDuplicateDelivery:
+      return "duplicate_delivery";
+    case OracleMonitor::kDurabilityBeforeAck:
+      return "durability_before_ack";
+  }
+  return "unknown";
+}
+
+InvariantOracle::InvariantOracle(Options options) : options_(options) {
+  if (options_.max_retained_violations == 0) {
+    options_.max_retained_violations = 1;
+  }
+}
+
+void InvariantOracle::AttachMetrics(MetricsRegistry* metrics) {
+  for (size_t i = 0; i < kOracleMonitorCount; ++i) {
+    violation_counters_[i] =
+        metrics == nullptr
+            ? nullptr
+            : metrics->GetCounter(
+                  "oracle.violations",
+                  {{"monitor", OracleMonitorName(static_cast<OracleMonitor>(i))}});
+  }
+}
+
+void InvariantOracle::Violate(OracleMonitor monitor, const LifecycleEvent& event,
+                              std::string detail) {
+  Violate(monitor, event.ctx.id, event.process, event.time, std::move(detail));
+}
+
+void InvariantOracle::Violate(OracleMonitor monitor, const MessageId& id,
+                              ProcessId process, SimTime time, std::string detail) {
+  const size_t m = static_cast<size_t>(monitor);
+  ++total_violations_;
+  ++violation_counts_[m];
+  if (violation_counters_[m] != nullptr) {
+    violation_counters_[m]->Add();
+  }
+
+  OracleViolation violation;
+  violation.monitor = monitor;
+  violation.id = id;
+  violation.process = process;
+  violation.time = time;
+  violation.detail = std::move(detail);
+  recent_.push_back(violation);
+  while (recent_.size() > options_.max_retained_violations) {
+    recent_.pop_front();
+  }
+
+  // One dump per run: the first violation is where the causal history still
+  // surrounds the offending message; later violations are usually cascade.
+  if (flight_ != nullptr && total_violations_ == 1) {
+    flight_->Dump("oracle_violation", std::string(OracleMonitorName(monitor)) +
+                                          ": " + violation.detail);
+  }
+  if (hook_) {
+    hook_(violation);
+  }
+
+  if (options_.policy != OraclePolicy::kCount) {
+    PUB_LOG_ERROR("oracle violation [%s] %s %s: %s", OracleMonitorName(monitor),
+                  ToString(id).c_str(),
+                  process.IsValid() ? ToString(process).c_str() : "",
+                  violation.detail.c_str());
+  }
+  if (options_.policy == OraclePolicy::kAbort) {
+    std::abort();
+  }
+}
+
+void InvariantOracle::OnEvent(const LifecycleEvent& event) {
+  const CausalContext& ctx = event.ctx;
+  // The per-message guarantees only bind guaranteed, non-control payload
+  // traffic: unguaranteed sends are best-effort and control packets (crash
+  // notices, recovery handshakes) are acked but deliberately unpublished.
+  const bool bound = ctx.guaranteed() && !ctx.control();
+
+  switch (event.stage) {
+    case LifecycleStage::kSent:
+      break;
+    case LifecycleStage::kOnWire: {
+      MessageState& ms = messages_[ctx.id];
+      ms.guaranteed = ms.guaranteed || ctx.guaranteed();
+      ms.control = ms.control || ctx.control();
+      // A replay transmission re-sends an already-published message; it must
+      // not re-arm the completeness obligation.
+      if (!ctx.replay()) {
+        ms.on_wire = true;
+      }
+      break;
+    }
+    case LifecycleStage::kOverheard:
+      break;
+    case LifecycleStage::kPublished:
+      messages_[ctx.id].published = true;
+      break;
+    case LifecycleStage::kDurable:
+      messages_[ctx.id].durable = true;
+      break;
+    case LifecycleStage::kDelivered: {
+      if (!bound || ctx.replay()) {
+        break;
+      }
+      const MessageState& ms = messages_[ctx.id];
+      if (options_.recorder_completeness && !ms.published) {
+        Violate(OracleMonitor::kRecorderCompleteness, event,
+                "delivered before the recorder published it (gating breached)");
+      }
+      if (options_.durability_before_ack && !ms.durable) {
+        Violate(OracleMonitor::kDurabilityBeforeAck, event,
+                "delivered before the publication was journaled");
+      }
+      break;
+    }
+    case LifecycleStage::kAcked: {
+      if (!bound || ctx.replay()) {
+        break;
+      }
+      if (options_.durability_before_ack && !messages_[ctx.id].durable) {
+        Violate(OracleMonitor::kDurabilityBeforeAck, event,
+                "end-to-end ack before the publication was journaled");
+      }
+      break;
+    }
+    case LifecycleStage::kReplayed:
+      // Replay *delivery* is not a read: the recovering process re-reads the
+      // message later through the normal read path, which emits kRead.
+      // Feeding both into the per-process monitors would double-count.
+      break;
+    case LifecycleStage::kRead: {
+      if (!event.process.IsValid()) {
+        break;
+      }
+      ProcessState& ps = processes_[event.process];
+      if (!ps.read_this_incarnation.insert(ctx.id).second) {
+        if (options_.duplicate_delivery) {
+          Violate(OracleMonitor::kDuplicateDelivery, event,
+                  "message read twice within one process incarnation");
+        }
+        break;
+      }
+      ps.read_log.push_back(ctx.id);
+      // Re-reading something the previous incarnation read: replay must
+      // preserve the original read order.
+      auto it = ps.prev_read_index.find(ctx.id);
+      if (it != ps.prev_read_index.end()) {
+        const int64_t index = static_cast<int64_t>(it->second);
+        if (options_.receive_order && index <= ps.last_prev_index) {
+          Violate(OracleMonitor::kReceiveOrder, event,
+                  "replayed read out of original order (index " +
+                      std::to_string(index) + " after " +
+                      std::to_string(ps.last_prev_index) + ")");
+        }
+        ps.last_prev_index = std::max(ps.last_prev_index, index);
+      }
+      break;
+    }
+  }
+  last_event_time_ = event.time;
+}
+
+void InvariantOracle::OnProcessReset(const ProcessId& pid) {
+  ProcessState& ps = processes_[pid];
+  ps.prev_read_index.clear();
+  for (size_t i = 0; i < ps.read_log.size(); ++i) {
+    ps.prev_read_index.emplace(ps.read_log[i], i);
+  }
+  ps.read_log.clear();
+  ps.last_prev_index = -1;
+  ps.read_this_incarnation.clear();
+}
+
+void InvariantOracle::CheckQuiescent() {
+  if (!options_.recorder_completeness) {
+    return;
+  }
+  // Deterministic violation order despite the unordered map.
+  std::vector<MessageId> unpublished;
+  for (const auto& [id, ms] : messages_) {
+    if (ms.on_wire && ms.guaranteed && !ms.control && !ms.published) {
+      unpublished.push_back(id);
+    }
+  }
+  std::sort(unpublished.begin(), unpublished.end());
+  for (const MessageId& id : unpublished) {
+    Violate(OracleMonitor::kRecorderCompleteness, id, ProcessId{}, last_event_time_,
+            "reached the wire but was never published (checked at quiescence)");
+  }
+}
+
+std::string InvariantOracle::ReportJson() const {
+  std::string out = "{\"monitors\":{";
+  const bool enabled[kOracleMonitorCount] = {
+      options_.recorder_completeness, options_.receive_order,
+      options_.duplicate_delivery, options_.durability_before_ack};
+  for (size_t i = 0; i < kOracleMonitorCount; ++i) {
+    if (i > 0) {
+      out += ',';
+    }
+    out += '"';
+    out += OracleMonitorName(static_cast<OracleMonitor>(i));
+    out += "\":{\"enabled\":";
+    out += enabled[i] ? '1' : '0';
+    out += ",\"violations\":" + std::to_string(violation_counts_[i]) + '}';
+  }
+  out += "},\"total_violations\":" + std::to_string(total_violations_);
+  out += ",\"violations\":[";
+  bool first = true;
+  for (const OracleViolation& v : recent_) {
+    if (!first) {
+      out += ',';
+    }
+    first = false;
+    out += "{\"monitor\":\"";
+    out += OracleMonitorName(v.monitor);
+    out += "\",\"id\":\"" + JsonEscape(ToString(v.id)) + '"';
+    if (v.process.IsValid()) {
+      out += ",\"process\":\"" + JsonEscape(ToString(v.process)) + '"';
+    }
+    out += ",\"time_ms\":" + FormatMetricValue(ToMillis(v.time));
+    out += ",\"detail\":\"" + JsonEscape(v.detail) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace publishing

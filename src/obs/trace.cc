@@ -153,6 +153,7 @@ std::string Tracer::ToChromeJson() const {
       {obs_track::kSim, "sim"},           {obs_track::kNet, "net"},
       {obs_track::kTransport, "transport"}, {obs_track::kRecorder, "recorder"},
       {obs_track::kStorage, "storage"},   {obs_track::kRecovery, "recovery"},
+      {obs_track::kLifecycle, "lifecycle"},
   };
   for (const auto& [track, name] : track_names_) {
     names[track] = name;
@@ -195,19 +196,17 @@ std::string Tracer::ToChromeJson() const {
     }
     out += '}';
   }
-  out += "]}";
+  // Footer: how much of the run the ring actually retained.  Viewers ignore
+  // unknown top-level keys; tests and the schema checker read these to catch
+  // silently truncated traces.
+  out += "],\"metadata\":{\"capacity\":" + std::to_string(capacity_);
+  out += ",\"droppedEvents\":" + std::to_string(dropped_);
+  out += ",\"retainedEvents\":" + std::to_string(events_.size()) + "}}";
   return out;
 }
 
 bool Tracer::WriteChromeJsonFile(const std::string& path) const {
-  const std::string json = ToChromeJson();
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) {
-    return false;
-  }
-  const size_t written = std::fwrite(json.data(), 1, json.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  return written == json.size() && close_ok;
+  return WriteTextFile(path, ToChromeJson());
 }
 
 }  // namespace publishing

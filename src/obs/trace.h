@@ -47,6 +47,7 @@ inline constexpr uint64_t kTransport = 3;
 inline constexpr uint64_t kRecorder = 4;
 inline constexpr uint64_t kStorage = 5;
 inline constexpr uint64_t kRecovery = 6;
+inline constexpr uint64_t kLifecycle = 7;
 }  // namespace obs_track
 
 class Tracer {

@@ -6,6 +6,25 @@
 
 namespace publishing {
 
+// The CausalContext mirrors the packet flag bit layout so src/obs can reason
+// about guaranteed/replay/control without depending on src/transport.
+static_assert(kCausalGuaranteed == kFlagGuaranteed);
+static_assert(kCausalReplay == kFlagReplay);
+static_assert(kCausalControl == kFlagControl);
+
+namespace {
+
+CausalContext MakeCausal(const PacketHeader& header, NodeId origin, uint32_t hop) {
+  CausalContext ctx;
+  ctx.id = header.id;
+  ctx.origin = origin;
+  ctx.hop = hop;
+  ctx.flags = header.flags;
+  return ctx;
+}
+
+}  // namespace
+
 TransportEndpoint::TransportEndpoint(Simulator* sim, Medium* medium, NodeId node,
                                      TransportOptions options,
                                      std::function<void(const Packet&)> deliver)
@@ -17,6 +36,7 @@ TransportEndpoint::~TransportEndpoint() { medium_->Detach(node_); }
 
 void TransportEndpoint::SetObservability(const Observability& obs) {
   tracer_ = obs.tracer;
+  lifecycle_ = obs.lifecycle;
   if (obs.metrics != nullptr) {
     obs_data_sent_ = obs.metrics->GetCounter("transport.data_sent");
     obs_data_delivered_ = obs.metrics->GetCounter("transport.data_delivered");
@@ -46,9 +66,13 @@ void TransportEndpoint::Send(Packet packet) {
     frame.dst = packet.header.dst_node;
     frame.type = packet.header.control() ? FrameType::kControl : FrameType::kData;
     frame.payload = LinkWrap(SerializePacket(packet));
+    frame.causal = MakeCausal(packet.header, node_, 0);
     ++stats_.data_sent;
     if (obs_data_sent_ != nullptr) {
       obs_data_sent_->Add(1);
+    }
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Observe(frame.causal, LifecycleStage::kSent, node_);
     }
     medium_->Send(std::move(frame));
     return;
@@ -103,9 +127,13 @@ void TransportEndpoint::TransmitInFlight(size_t index) {
   frame.type =
       inflight.packet.header.control() ? FrameType::kControl : FrameType::kData;
   frame.payload = LinkWrap(SerializePacket(inflight.packet));
+  frame.causal = MakeCausal(inflight.packet.header, node_, inflight.attempts++);
   ++stats_.data_sent;
   if (obs_data_sent_ != nullptr) {
     obs_data_sent_->Add(1);
+  }
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Observe(frame.causal, LifecycleStage::kSent, node_);
   }
   medium_->Send(std::move(frame));
 
@@ -183,6 +211,13 @@ void TransportEndpoint::HandleData(const Packet& packet) {
     if (obs_acks_sent_ != nullptr) {
       obs_acks_sent_->Add(1);
     }
+    // The ack stage is observed here — not at the ack frame on the medium —
+    // because only this layer still knows the acked packet's flags, which
+    // the durability-before-ack monitor needs to exempt control traffic.
+    if (lifecycle_ != nullptr) {
+      lifecycle_->Observe(MakeCausal(packet.header, packet.header.src_node, 0),
+                          LifecycleStage::kAcked, node_);
+    }
     medium_->Send(std::move(frame));
   }
   if (!packet.header.replay()) {
@@ -198,6 +233,12 @@ void TransportEndpoint::HandleData(const Packet& packet) {
   ++stats_.data_delivered;
   if (obs_data_delivered_ != nullptr) {
     obs_data_delivered_->Add(1);
+  }
+  if (lifecycle_ != nullptr) {
+    lifecycle_->Observe(
+        MakeCausal(packet.header, packet.header.src_node, 0),
+        packet.header.replay() ? LifecycleStage::kReplayed : LifecycleStage::kDelivered,
+        node_, packet.header.dst_process);
   }
   deliver_(packet);
 }

@@ -100,8 +100,9 @@ class TransportEndpoint : public Station {
     Packet packet;
     SimDuration timeout;
     EventId timer;
-    SimTime first_sent = 0;  // For the ack-latency histogram.
-    uint64_t span_id = 0;    // Open transport.rtt async span, 0 = none.
+    SimTime first_sent = 0;   // For the ack-latency histogram.
+    uint64_t span_id = 0;     // Open transport.rtt async span, 0 = none.
+    uint32_t attempts = 0;    // Transmissions so far (CausalContext hop).
   };
 
   void TrySendNext();
@@ -128,6 +129,7 @@ class TransportEndpoint : public Station {
 
   // Observability handles (null = detached).
   Tracer* tracer_ = nullptr;
+  LifecycleTracker* lifecycle_ = nullptr;
   Counter* obs_data_sent_ = nullptr;
   Counter* obs_data_delivered_ = nullptr;
   Counter* obs_acks_sent_ = nullptr;

@@ -5,161 +5,21 @@
 
 #include <gtest/gtest.h>
 
-#include <cctype>
 #include <cmath>
 #include <string>
 
 #include "src/core/publishing_system.h"
+#include "src/obs/flight_recorder.h"
+#include "src/obs/lifecycle.h"
 #include "src/obs/metrics.h"
 #include "src/obs/observability.h"
+#include "src/obs/oracle.h"
 #include "src/obs/trace.h"
+#include "tests/json_checker.h"
 #include "tests/test_programs.h"
 
 namespace publishing {
 namespace {
-
-// ---------------------------------------------------------------------------
-// A minimal JSON validator for the subset src/obs emits: objects, arrays,
-// strings (with escapes), and numbers.  Enough to catch unbalanced braces,
-// trailing commas, and unescaped quotes.
-// ---------------------------------------------------------------------------
-
-class JsonChecker {
- public:
-  explicit JsonChecker(std::string_view text) : text_(text) {}
-
-  bool Valid() {
-    SkipWs();
-    if (!Value()) {
-      return false;
-    }
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
- private:
-  void SkipWs() {
-    while (pos_ < text_.size() && (text_[pos_] == ' ' || text_[pos_] == '\n' ||
-                                   text_[pos_] == '\t' || text_[pos_] == '\r')) {
-      ++pos_;
-    }
-  }
-
-  bool Value() {
-    if (pos_ >= text_.size()) {
-      return false;
-    }
-    switch (text_[pos_]) {
-      case '{':
-        return Object();
-      case '[':
-        return Array();
-      case '"':
-        return String();
-      default:
-        return Number();
-    }
-  }
-
-  bool Object() {
-    ++pos_;  // '{'
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == '}') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!String()) {
-        return false;
-      }
-      SkipWs();
-      if (pos_ >= text_.size() || text_[pos_] != ':') {
-        return false;
-      }
-      ++pos_;
-      SkipWs();
-      if (!Value()) {
-        return false;
-      }
-      SkipWs();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == '}') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool Array() {
-    ++pos_;  // '['
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == ']') {
-      ++pos_;
-      return true;
-    }
-    while (true) {
-      SkipWs();
-      if (!Value()) {
-        return false;
-      }
-      SkipWs();
-      if (pos_ >= text_.size()) {
-        return false;
-      }
-      if (text_[pos_] == ',') {
-        ++pos_;
-        continue;
-      }
-      if (text_[pos_] == ']') {
-        ++pos_;
-        return true;
-      }
-      return false;
-    }
-  }
-
-  bool String() {
-    if (pos_ >= text_.size() || text_[pos_] != '"') {
-      return false;
-    }
-    ++pos_;
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_];
-      if (c == '\\') {
-        pos_ += 2;
-        continue;
-      }
-      if (c == '"') {
-        ++pos_;
-        return true;
-      }
-      ++pos_;
-    }
-    return false;
-  }
-
-  bool Number() {
-    const size_t start = pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) || text_[pos_] == '-' ||
-            text_[pos_] == '+' || text_[pos_] == '.' || text_[pos_] == 'e' ||
-            text_[pos_] == 'E')) {
-      ++pos_;
-    }
-    return pos_ > start;
-  }
-
-  std::string_view text_;
-  size_t pos_ = 0;
-};
 
 // ---------------------------------------------------------------------------
 // Registry semantics
@@ -226,6 +86,31 @@ TEST(MetricsRegistry, JsonAndCsvAreWellFormed) {
   EXPECT_NE(csv.find("c.one"), std::string::npos);
 }
 
+TEST(MetricsRegistry, HistogramExportsBucketsAndQuantiles) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat.ms");
+  // One sample per decade bucket, plus an overflow sample.
+  const double samples[] = {0.0005, 0.005, 0.05, 0.5, 5.0, 50.0, 500.0, 5000.0, 50000.0};
+  for (double s : samples) {
+    h->Observe(s);
+  }
+  EXPECT_EQ(h->count(), 9u);
+  EXPECT_DOUBLE_EQ(h->sum(), 0.0005 + 0.005 + 0.05 + 0.5 + 5.0 + 50.0 + 500.0 +
+                                 5000.0 + 50000.0);
+  EXPECT_EQ(h->min(), 0.0005);
+  EXPECT_EQ(h->max(), 50000.0);
+  EXPECT_LE(h->p50(), h->p99());
+  for (size_t i = 0; i < Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(h->bucket(i), 1u) << "bucket " << i;
+  }
+
+  const std::string json = registry.ToJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"buckets\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"0.001\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"inf\":1"), std::string::npos) << json;
+}
+
 TEST(Metrics, FormatMetricValueIsDeterministic) {
   EXPECT_EQ(FormatMetricValue(7.0), "7");
   EXPECT_EQ(FormatMetricValue(0.5), "0.5");
@@ -281,6 +166,26 @@ TEST(Tracer, RingBufferBoundsMemoryAndCountsDrops) {
   EXPECT_TRUE(JsonChecker(tracer.ToChromeJson()).Valid());
 }
 
+TEST(Tracer, ExportFooterReportsDroppedEvents) {
+  // The Chrome JSON self-reports whether the ring wrapped, so a consumer can
+  // tell a complete trace from a truncated one without external bookkeeping.
+  Simulator sim;
+  Tracer tracer(&sim, /*capacity=*/8);
+  for (int i = 0; i < 20; ++i) {
+    tracer.Instant("e" + std::to_string(i), "sim", obs_track::kSim);
+  }
+  const std::string json = tracer.ToChromeJson();
+  EXPECT_TRUE(JsonChecker(json).Valid()) << json;
+  EXPECT_NE(json.find("\"metadata\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"capacity\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"droppedEvents\":12"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"retainedEvents\":8"), std::string::npos) << json;
+
+  Tracer quiet(&sim, /*capacity=*/8);
+  quiet.Instant("only", "sim", obs_track::kSim);
+  EXPECT_NE(quiet.ToChromeJson().find("\"droppedEvents\":0"), std::string::npos);
+}
+
 // ---------------------------------------------------------------------------
 // System-level: determinism and behaviour equivalence
 // ---------------------------------------------------------------------------
@@ -288,25 +193,42 @@ TEST(Tracer, RingBufferBoundsMemoryAndCountsDrops) {
 struct InstrumentedRun {
   std::string metrics_json;
   std::string trace_json;
+  std::string lifecycle_json;
+  std::string flight_dump;
+  uint64_t oracle_violations = 0;
   uint64_t messages_published = 0;
   uint64_t data_delivered = 0;
   SimTime end_time = 0;
 };
 
-InstrumentedRun RunPingPong(bool instrument, bool crash) {
+// `instrument` attaches metrics + tracer; `lifecycle` additionally attaches
+// the full causal stack (tracker, oracle, flight recorder).
+InstrumentedRun RunPingPong(bool instrument, bool crash, bool lifecycle = false) {
   // Sinks before the system: attached components hold raw pointers into
   // them until destruction, so the sinks must outlive the system.
   MetricsRegistry registry;
+  InvariantOracle oracle;
+  FlightRecorder flight;
   PublishingSystemConfig config;
   config.cluster.node_count = 2;
   config.cluster.start_system_processes = false;
   PublishingSystem system(config);
 
   Tracer tracer(&system.sim());
+  LifecycleTracker tracker(&system.sim());
   if (instrument) {
     Observability obs;
     obs.metrics = &registry;
     obs.tracer = &tracer;
+    if (lifecycle) {
+      tracker.AttachTracer(&tracer);
+      tracker.AttachMetrics(&registry);
+      tracker.AttachOracle(&oracle);
+      tracker.AttachFlightRecorder(&flight);
+      oracle.AttachFlightRecorder(&flight);
+      oracle.AttachMetrics(&registry);
+      obs.lifecycle = &tracker;
+    }
     system.EnableObservability(obs);
   }
 
@@ -327,6 +249,9 @@ InstrumentedRun RunPingPong(bool instrument, bool crash) {
   InstrumentedRun run;
   run.metrics_json = registry.ToJson();
   run.trace_json = tracer.ToChromeJson();
+  run.lifecycle_json = tracker.TableToJson();
+  run.flight_dump = flight.Dump("explicit", "end of run");
+  run.oracle_violations = oracle.total_violations();
   run.messages_published = system.recorder().stats().messages_published;
   run.data_delivered = system.recorder().endpoint().stats().data_delivered;
   run.end_time = system.sim().Now();
@@ -347,6 +272,33 @@ TEST(ObservabilityIntegration, InstrumentationDoesNotChangeBehaviour) {
   EXPECT_EQ(with.messages_published, without.messages_published);
   EXPECT_EQ(with.data_delivered, without.data_delivered);
   EXPECT_EQ(with.end_time, without.end_time);
+}
+
+TEST(ObservabilityIntegration, LifecycleStackDoesNotChangeBehaviour) {
+  // The stronger equivalence claim for this PR: even with the full causal
+  // stack attached — tracker, oracle, flight recorder — the run is
+  // bit-identical to an uninstrumented one.
+  InstrumentedRun with =
+      RunPingPong(/*instrument=*/true, /*crash=*/true, /*lifecycle=*/true);
+  InstrumentedRun without = RunPingPong(/*instrument=*/false, /*crash=*/true);
+  EXPECT_EQ(with.messages_published, without.messages_published);
+  EXPECT_EQ(with.data_delivered, without.data_delivered);
+  EXPECT_EQ(with.end_time, without.end_time);
+  EXPECT_EQ(with.oracle_violations, 0u);
+}
+
+TEST(ObservabilityIntegration, LifecycleExportsSerializeByteIdentically) {
+  InstrumentedRun a =
+      RunPingPong(/*instrument=*/true, /*crash=*/true, /*lifecycle=*/true);
+  InstrumentedRun b =
+      RunPingPong(/*instrument=*/true, /*crash=*/true, /*lifecycle=*/true);
+  EXPECT_NE(a.lifecycle_json.find("\"messages\""), std::string::npos);
+  EXPECT_EQ(a.lifecycle_json, b.lifecycle_json);
+  EXPECT_EQ(a.flight_dump, b.flight_dump);
+  EXPECT_EQ(a.metrics_json, b.metrics_json);
+  EXPECT_EQ(a.trace_json, b.trace_json);
+  EXPECT_TRUE(JsonChecker(a.lifecycle_json).Valid());
+  EXPECT_TRUE(JsonChecker(a.flight_dump).Valid());
 }
 
 TEST(ObservabilityIntegration, MetricsCoverEveryLayerAndMatchLegacyStats) {
