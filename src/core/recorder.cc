@@ -64,6 +64,13 @@ bool Recorder::OnWireFrame(const Frame& frame) {
   if (obs_frames_seen_ != nullptr) {
     obs_frames_seen_->Add(1);
   }
+  if (!frame.segments.empty()) {
+    // Replay-burst gather frames.  Counted before the own-transmission check
+    // below: bursts originate from the recovery manager on this node, and
+    // these stats are how benches and tests see them at all.
+    ++stats_.replay_bursts_seen;
+    stats_.replay_segments_seen += frame.segments.size();
+  }
   if (frame.src == options_.node) {
     // Our own transmissions (replays, acks) need no recording.
     return true;

@@ -50,6 +50,8 @@ struct RecorderStats {
   uint64_t acks_seen = 0;
   uint64_t control_seen = 0;
   uint64_t replay_seen = 0;
+  uint64_t replay_bursts_seen = 0;    // Burst frames overheard on the wire.
+  uint64_t replay_segments_seen = 0;  // Logged packets riding in those bursts.
   uint64_t checkpoints_stored = 0;
   SimDuration publish_cpu = 0;
 };

@@ -1,5 +1,7 @@
 #include "src/core/recovery_manager.h"
 
+#include <algorithm>
+
 #include "src/common/logging.h"
 
 namespace publishing {
@@ -22,11 +24,18 @@ void RecoveryManager::SetObservability(const Observability& obs) {
     obs_recoveries_completed_ = obs.metrics->GetCounter("recovery.completed");
     obs_node_crashes_ = obs.metrics->GetCounter("recovery.node_crashes_detected");
     obs_replayed_messages_ = obs.metrics->GetCounter("recovery.replayed_messages");
+    obs_replay_bursts_ = obs.metrics->GetCounter("recovery.replay_bursts_sent");
+    obs_replay_burst_retransmits_ =
+        obs.metrics->GetCounter("recovery.replay_burst_retransmits");
+    obs_recoveries_deferred_ = obs.metrics->GetCounter("recovery.deferred");
   } else {
     obs_recoveries_started_ = nullptr;
     obs_recoveries_completed_ = nullptr;
     obs_node_crashes_ = nullptr;
     obs_replayed_messages_ = nullptr;
+    obs_replay_bursts_ = nullptr;
+    obs_replay_burst_retransmits_ = nullptr;
+    obs_recoveries_deferred_ = nullptr;
   }
 }
 
@@ -227,9 +236,12 @@ void RecoveryManager::OnProcessCrashNotice(const ProcessId& pid) {
   NodeId target;
   if (it != recoveries_.end()) {
     // Recursive crash of a recovering process (§3.5): terminate the old
-    // recovery process and start a fresh one.
+    // recovery process — abandoning any replay window in flight — and start
+    // a fresh one.  The new round number keeps stale bursts and completions
+    // from the dead attempt out of the new one.
     ++stats_.recursive_recoveries;
     target = it->second.node;
+    ReleaseReplayState(it->second);
     recoveries_.erase(it);
   } else {
     auto info = recorder_->storage().Info(pid);
@@ -242,9 +254,42 @@ void RecoveryManager::OnProcessCrashNotice(const ProcessId& pid) {
 }
 
 void RecoveryManager::StartRecovery(const ProcessId& pid, NodeId target_node) {
-  if (recoveries_.contains(pid)) {
+  if (recoveries_.contains(pid) || pending_set_.contains(pid)) {
     return;
   }
+  if (options_.max_concurrent_recoveries > 0 &&
+      recoveries_.size() >= options_.max_concurrent_recoveries) {
+    // Scheduler admission control: queue behind the concurrency cap.
+    pending_.emplace_back(pid, target_node);
+    pending_set_.insert(pid);
+    ++stats_.recoveries_deferred;
+    if (obs_recoveries_deferred_ != nullptr) {
+      obs_recoveries_deferred_->Add(1);
+    }
+    if (tracer_ != nullptr) {
+      tracer_->Instant("recovery.deferred", "recovery", obs_track::kRecovery,
+                       {{"pid", ToString(pid)},
+                        {"queued", std::to_string(pending_.size())}});
+    }
+    return;
+  }
+  AdmitRecovery(pid, target_node);
+}
+
+void RecoveryManager::AdmitPending() {
+  while (!pending_.empty() &&
+         (options_.max_concurrent_recoveries == 0 ||
+          recoveries_.size() < options_.max_concurrent_recoveries)) {
+    auto [pid, node] = pending_.front();
+    pending_.pop_front();
+    pending_set_.erase(pid);
+    if (!recoveries_.contains(pid)) {
+      AdmitRecovery(pid, node);
+    }
+  }
+}
+
+void RecoveryManager::AdmitRecovery(const ProcessId& pid, NodeId target_node) {
   auto info = recorder_->storage().Info(pid);
   if (!info.ok() || info->destroyed || info->program.empty() || !info->recoverable) {
     return;
@@ -306,32 +351,167 @@ void RecoveryManager::BeginReplay(RecoveryProcess& rp) {
   // snapshot taken after the recreate-ack provably contains all of them.
   // Anything logged later is being held in the kernel's pending-live queue
   // and gets released (minus replayed ids) at recovery completion.
-  rp.replay = recorder_->storage().ReplayList(rp.target);
+  ReplayCursor cursor = recorder_->storage().Replay(rp.target);
   if (tracer_ != nullptr) {
     rp.replay_span_id = tracer_->BeginSpan(
         "recovery.replay", "recovery", obs_track::kRecovery,
         {{"pid", ToString(rp.target)},
-         {"messages", std::to_string(rp.replay.size())}});
+         {"messages", std::to_string(cursor.size())},
+         {"bytes", std::to_string(cursor.payload_bytes())},
+         {"mode", options_.pipelined_replay ? "pipelined" : "stop_and_wait"}});
   }
   if (obs_replayed_messages_ != nullptr) {
-    obs_replayed_messages_->Add(rp.replay.size());
+    obs_replayed_messages_->Add(cursor.size());
   }
-  // Inject every published message, flagged as replay so the duplicate cache
-  // lets it through (§4.7).  The transport's one-outstanding-per-node rule
-  // keeps these — and the completion that follows — in order.
-  for (const LogEntry& entry : rp.replay) {
-    auto packet = ParsePacket(entry.packet);
-    if (!packet.ok()) {
-      PUB_LOG_ERROR("recovery: corrupt log entry for %s", ToString(rp.target).c_str());
-      continue;
+  if (!options_.pipelined_replay) {
+    // Baseline (§4.7 verbatim): inject every published message one at a
+    // time, flagged as replay so the duplicate cache lets it through.  The
+    // transport's one-outstanding-per-node rule keeps these — and the
+    // completion that follows — in order.
+    for (const LogEntry& entry : cursor) {
+      auto packet = ParsePacket(entry.packet);
+      if (!packet.ok()) {
+        PUB_LOG_ERROR("recovery: corrupt log entry for %s", ToString(rp.target).c_str());
+        continue;
+      }
+      packet->header.flags |= kFlagReplay | kFlagGuaranteed;
+      packet->header.dst_node = rp.node;
+      recorder_->endpoint().Send(std::move(*packet));
     }
-    packet->header.flags |= kFlagReplay | kFlagGuaranteed;
-    packet->header.dst_node = rp.node;
-    recorder_->endpoint().Send(std::move(*packet));
+    FinishReplay(rp);
+    return;
   }
+  // Pipelined fast path (DESIGN.md §11): partition the cursor into burst
+  // frames of shared segments — each Buffer below is a refcount bump on the
+  // stored wire bytes, never a payload copy — and stream them through a
+  // sliding window.  The kernel unpacks bursts strictly in burst_seq order,
+  // so the paper's in-order replay semantics are preserved.
+  rp.bursts.clear();
+  ReplayBurstBuffers current;
+  for (const LogEntry& entry : cursor) {
+    if (!current.segments.empty() &&
+        (current.segments.size() >= options_.replay_burst_max_messages ||
+         current.bytes + entry.packet.size() > options_.replay_burst_max_bytes)) {
+      rp.bursts.push_back(std::move(current));
+      current = {};
+    }
+    current.bytes += entry.packet.size();
+    current.segments.push_back(entry.packet);
+  }
+  if (!current.segments.empty()) {
+    rp.bursts.push_back(std::move(current));
+  }
+  if (rp.bursts.empty()) {
+    FinishReplay(rp);
+    return;
+  }
+  rp.phase = Phase::kReplaying;
+  rp.next_burst = 0;
+  rp.highest_acked = 0;
+  rp.bytes_in_flight = 0;
+  rp.retransmit_timeout = options_.replay_retransmit_timeout;
+  PumpReplayWindow(rp);
+}
+
+void RecoveryManager::SendBurst(RecoveryProcess& rp, size_t index) {
+  const ReplayBurstBuffers& burst = rp.bursts[index];
+  Packet packet;
+  packet.header.id = MessageId{rp.rproc, seq_for(rp.rproc)};
+  packet.header.src_process = rp.rproc;
+  packet.header.dst_process = ProcessId{rp.node, NodeKernel::kKernelLocalId};
+  packet.header.src_node = recorder_->node();
+  packet.header.dst_node = rp.node;
+  // Unguaranteed control: the transport's stop-and-wait window is exactly
+  // the serialization bursting exists to escape; loss recovery is this
+  // layer's go-back-N.  Control also keeps the recorder from re-publishing.
+  packet.header.flags = kFlagControl;
+  packet.body = EncodeReplayBurst({rp.target, rp.round, index + 1,
+                                   static_cast<uint32_t>(burst.segments.size())});
+  packet.segments = burst.segments;  // Shared views; zero payload bytes copied.
+  ++stats_.replay_bursts_sent;
+  if (obs_replay_bursts_ != nullptr) {
+    obs_replay_bursts_->Add(1);
+  }
+  recorder_->endpoint().Send(std::move(packet));
+}
+
+void RecoveryManager::PumpReplayWindow(RecoveryProcess& rp) {
+  while (rp.next_burst < rp.bursts.size() &&
+         rp.next_burst < rp.highest_acked + options_.replay_window) {
+    const size_t burst_bytes = rp.bursts[rp.next_burst].bytes;
+    if (rp.bytes_in_flight > 0 && options_.max_outstanding_replay_bytes > 0 &&
+        outstanding_replay_bytes_ + burst_bytes > options_.max_outstanding_replay_bytes) {
+      // Global back-pressure; resumes when acks drain the budget.  A
+      // recovery with nothing in flight always proceeds (no deadlock).
+      break;
+    }
+    SendBurst(rp, rp.next_burst);
+    rp.bytes_in_flight += burst_bytes;
+    outstanding_replay_bytes_ += burst_bytes;
+    ++rp.next_burst;
+  }
+  ArmReplayTimer(rp);
+}
+
+void RecoveryManager::PumpAllReplaying() {
+  for (auto& [pid, rp] : recoveries_) {
+    if (rp.phase == Phase::kReplaying) {
+      PumpReplayWindow(rp);
+    }
+  }
+}
+
+void RecoveryManager::ArmReplayTimer(RecoveryProcess& rp) {
+  sim_->Cancel(rp.retransmit_timer);
+  rp.retransmit_timer = EventId{};
+  if (rp.highest_acked >= rp.next_burst) {
+    return;  // Nothing in flight.
+  }
+  const ProcessId pid = rp.target;
+  const uint64_t round = rp.round;
+  rp.retransmit_timer = sim_->ScheduleAfter(
+      rp.retransmit_timeout, [this, pid, round] { OnReplayTimeout(pid, round); });
+}
+
+void RecoveryManager::OnReplayTimeout(const ProcessId& pid, uint64_t round) {
+  auto it = recoveries_.find(pid);
+  if (it == recoveries_.end() || it->second.round != round ||
+      it->second.phase != Phase::kReplaying) {
+    return;
+  }
+  RecoveryProcess& rp = it->second;
+  // Go-back-N: resend every un-acked burst in the window (the kernel drops
+  // out-of-order bursts, so anything after a lost frame was discarded).
+  rp.retransmit_timeout =
+      std::min(rp.retransmit_timeout * 2, options_.replay_max_retransmit_timeout);
+  for (size_t i = rp.highest_acked; i < rp.next_burst; ++i) {
+    SendBurst(rp, i);
+    ++stats_.replay_burst_retransmits;
+    if (obs_replay_burst_retransmits_ != nullptr) {
+      obs_replay_burst_retransmits_->Add(1);
+    }
+  }
+  if (tracer_ != nullptr) {
+    tracer_->Instant("recovery.replay_retransmit", "recovery", obs_track::kRecovery,
+                     {{"pid", ToString(pid)},
+                      {"from_seq", std::to_string(rp.highest_acked + 1)}});
+  }
+  ArmReplayTimer(rp);
+}
+
+void RecoveryManager::FinishReplay(RecoveryProcess& rp) {
+  rp.bursts.clear();
   SendFromRecoveryPid(rp.rproc, ProcessId{rp.node, NodeKernel::kKernelLocalId},
                       EncodeRecoveryTarget(KernelOp::kRecoveryComplete, {rp.target, rp.round}));
   rp.phase = Phase::kAwaitCompleteAck;
+}
+
+void RecoveryManager::ReleaseReplayState(RecoveryProcess& rp) {
+  sim_->Cancel(rp.retransmit_timer);
+  rp.retransmit_timer = EventId{};
+  outstanding_replay_bytes_ -= rp.bytes_in_flight;
+  rp.bytes_in_flight = 0;
+  rp.bursts.clear();
 }
 
 // ---------------------------------------------------------------------------
@@ -401,11 +581,10 @@ void RecoveryManager::BeginNodeReplay(NodeRecovery& nr) {
     obs_replayed_messages_->Add(node_replay.size());
   }
   for (const StableStorage::NodeLogEntry& entry : node_replay) {
-    NodeReplayMessage msg;
-    msg.step = entry.step;
-    msg.packet = entry.packet.ToBytes();
+    // Serialize straight from the stored Buffer view — no counted ToBytes
+    // materialization on the replay path.
     SendFromRecoveryPid(nr.rproc, ProcessId{nr.node, NodeKernel::kKernelLocalId},
-                        EncodeNodeReplayMessage(msg));
+                        EncodeNodeReplayMessage(entry.step, entry.packet));
   }
   SendFromRecoveryPid(
       nr.rproc, ProcessId{nr.node, NodeKernel::kKernelLocalId},
@@ -434,6 +613,39 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
       }
       return true;
     }
+    case KernelOp::kReplayBurstAck: {
+      auto ack = DecodeReplayBurstAck(packet.body);
+      if (!ack.ok()) {
+        return true;
+      }
+      auto it = recoveries_.find(ack->pid);
+      if (it == recoveries_.end() || it->second.round != ack->recovery_round ||
+          it->second.phase != Phase::kReplaying) {
+        return true;  // Stale round or attempt already gone (§3.5).
+      }
+      RecoveryProcess& rp = it->second;
+      if (ack->cumulative_seq <= rp.highest_acked) {
+        return true;  // Duplicate/reordered ack.
+      }
+      const uint64_t acked_upto = std::min<uint64_t>(ack->cumulative_seq, rp.next_burst);
+      for (uint64_t i = rp.highest_acked; i < acked_upto; ++i) {
+        const size_t burst_bytes = rp.bursts[i].bytes;
+        rp.bytes_in_flight -= burst_bytes;
+        outstanding_replay_bytes_ -= burst_bytes;
+      }
+      rp.highest_acked = acked_upto;
+      rp.retransmit_timeout = options_.replay_retransmit_timeout;  // Progress resets backoff.
+      if (rp.highest_acked >= rp.bursts.size()) {
+        sim_->Cancel(rp.retransmit_timer);
+        rp.retransmit_timer = EventId{};
+        FinishReplay(rp);
+      } else {
+        PumpReplayWindow(rp);
+      }
+      // The ack freed byte budget — budget-stalled recoveries may now pump.
+      PumpAllReplaying();
+      return true;
+    }
     case KernelOp::kRecoveryCompleteAck: {
       auto target = DecodeRecoveryTarget(packet.body);
       if (!target.ok()) {
@@ -455,6 +667,7 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
           tracer_->Instant("recovery.caught_up", "recovery", obs_track::kRecovery,
                            {{"pid", ToString(pid)}});
         }
+        ReleaseReplayState(it->second);
         recoveries_.erase(it);
         recorder_->storage().SetRecovering(pid, false);
         ++stats_.process_recoveries_completed;
@@ -465,6 +678,7 @@ bool RecoveryManager::HandlePacket(const Packet& packet) {
         if (recovery_done_) {
           recovery_done_(pid);
         }
+        AdmitPending();  // A slot freed; admit queued recoveries.
       }
       return true;
     }
@@ -552,7 +766,13 @@ void RecoveryManager::OnRecorderRestart(uint64_t restart_number) {
   current_restart_number_ = restart_number;
   // Recovery processes did not survive the recorder crash; the state replies
   // will tell us which targets are stuck in "recovering".
+  for (auto& [pid, rp] : recoveries_) {
+    ReleaseReplayState(rp);
+  }
   recoveries_.clear();
+  pending_.clear();
+  pending_set_.clear();
+  outstanding_replay_bytes_ = 0;
   // Reset the watchdogs' clocks — no pongs flowed while we were down.
   for (auto& [node, watch] : watches_) {
     watch.last_pong = sim_->Now();

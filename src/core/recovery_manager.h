@@ -10,9 +10,17 @@
 //   1. pick a node (same node, or a spare under the migration policy);
 //   2. send a recreate request carrying the checkpoint (or the initial
 //      image's name), the last-sent watermark, and the recovery round;
-//   3. on recreate-ack, inject every logged message, flagged kFlagReplay, in
-//      the recorded read order;
+//   3. on recreate-ack, stream every logged message, flagged kFlagReplay, in
+//      the recorded read order — by default as windowed replay bursts with
+//      cumulative acks and go-back-N retransmission (DESIGN.md §11); the
+//      paper's one-at-a-time stop-and-wait injection remains available as
+//      the pipelined_replay=false baseline;
 //   4. send recovery-complete; on its ack the process is live again.
+//
+// Under a mass crash the manager acts as a concurrent recovery scheduler:
+// recoveries past max_concurrent_recoveries queue for admission, and a global
+// outstanding-replay-byte budget back-pressures burst transmission so the
+// recorder is never asked to push more replay payload than it can service.
 //
 // Recursive crashes (§3.5) abort the attempt and start a new round; the
 // round number keeps stale completions from finishing the new attempt.
@@ -23,9 +31,11 @@
 #ifndef SRC_CORE_RECOVERY_MANAGER_H_
 #define SRC_CORE_RECOVERY_MANAGER_H_
 
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
+#include <set>
 #include <unordered_map>
 #include <vector>
 
@@ -55,6 +65,27 @@ struct RecoveryManagerOptions {
   // the node is still down and responsibility has shifted to it (i.e. the
   // higher-priority recorder failed during the recovery).
   SimDuration takeover_recheck = Seconds(2);
+
+  // --- Pipelined replay (DESIGN.md §11) ---
+  // When set, replay streams the log as windowed multi-message bursts with
+  // cumulative acks and go-back-N retransmission instead of one guaranteed
+  // stop-and-wait frame per logged message (the paper's §4.7 behaviour,
+  // still available as the baseline with pipelined_replay = false).
+  bool pipelined_replay = true;
+  size_t replay_burst_max_messages = 16;   // Logged packets per burst frame.
+  size_t replay_burst_max_bytes = 8192;    // Payload-byte cap per burst.
+  size_t replay_window = 4;                // Bursts in flight per recovery.
+  SimDuration replay_retransmit_timeout = Millis(80);
+  SimDuration replay_max_retransmit_timeout = Millis(640);
+
+  // --- Concurrent recovery scheduler ---
+  // At most this many process recoveries run at once (0 = unlimited); the
+  // rest queue and are admitted as slots free up.  The byte budget bounds
+  // un-acked replay payload across ALL active recoveries — back-pressure so
+  // a mass crash cannot swamp the recorder's CPU/medium (each recovery is
+  // always allowed one burst in flight, so the budget cannot deadlock).
+  size_t max_concurrent_recoveries = 8;
+  size_t max_outstanding_replay_bytes = 64 * 1024;
 };
 
 struct RecoveryManagerStats {
@@ -64,6 +95,9 @@ struct RecoveryManagerStats {
   uint64_t recursive_recoveries = 0;
   uint64_t state_queries_sent = 0;
   uint64_t stale_state_replies_ignored = 0;
+  uint64_t replay_bursts_sent = 0;
+  uint64_t replay_burst_retransmits = 0;
+  uint64_t recoveries_deferred = 0;  // Queued behind max_concurrent_recoveries.
 };
 
 class RecoveryManager {
@@ -82,8 +116,12 @@ class RecoveryManager {
   void OnRecorderRestart(uint64_t restart_number);
   void TriggerNodeRecovery(NodeId node);
 
-  bool IsRecovering(const ProcessId& pid) const { return recoveries_.contains(pid); }
+  bool IsRecovering(const ProcessId& pid) const {
+    return recoveries_.contains(pid) || pending_set_.contains(pid);
+  }
   size_t active_recoveries() const { return recoveries_.size(); }
+  size_t pending_recoveries() const { return pending_.size(); }
+  size_t outstanding_replay_bytes() const { return outstanding_replay_bytes_; }
   const RecoveryManagerStats& stats() const { return stats_; }
 
   // Invoked each time a process recovery finishes (tests use this to wait).
@@ -103,7 +141,14 @@ class RecoveryManager {
   void SetObservability(const Observability& obs);
 
  private:
-  enum class Phase { kAwaitRecreateAck, kAwaitCompleteAck };
+  enum class Phase { kAwaitRecreateAck, kReplaying, kAwaitCompleteAck };
+
+  // One burst frame's worth of logged packets: shared views into stable
+  // storage, partitioned once from the replay cursor.
+  struct ReplayBurstBuffers {
+    std::vector<Buffer> segments;
+    size_t bytes = 0;  // Sum of segment payload sizes.
+  };
 
   struct RecoveryProcess {
     ProcessId target;       // Process being recovered.
@@ -111,7 +156,13 @@ class RecoveryManager {
     NodeId node;            // Node the process is being recreated on.
     uint64_t round = 0;
     Phase phase = Phase::kAwaitRecreateAck;
-    std::vector<LogEntry> replay;  // Snapshot of the log at start.
+    // Pipelined replay window state (Phase::kReplaying).
+    std::vector<ReplayBurstBuffers> bursts;
+    size_t next_burst = 0;       // Index of the next unsent burst.
+    uint64_t highest_acked = 0;  // Bursts [0, highest_acked) cumulatively acked.
+    size_t bytes_in_flight = 0;  // Un-acked payload bytes, counted once.
+    EventId retransmit_timer;    // Go-back-N timer; invalid when idle.
+    SimDuration retransmit_timeout = 0;
     uint64_t span_id = 0;          // Open recovery.process span, 0 = none.
     uint64_t replay_span_id = 0;   // Open recovery.replay span, 0 = none.
   };
@@ -134,7 +185,18 @@ class RecoveryManager {
   };
 
   void StartRecovery(const ProcessId& pid, NodeId target_node);
+  void AdmitRecovery(const ProcessId& pid, NodeId target_node);
+  void AdmitPending();
   void BeginReplay(RecoveryProcess& rp);
+  void PumpReplayWindow(RecoveryProcess& rp);
+  void PumpAllReplaying();
+  void SendBurst(RecoveryProcess& rp, size_t index);
+  void ArmReplayTimer(RecoveryProcess& rp);
+  void OnReplayTimeout(const ProcessId& pid, uint64_t round);
+  void FinishReplay(RecoveryProcess& rp);
+  // Cancels the go-back-N timer and returns un-acked bytes to the global
+  // budget; required before erasing a recovery in any phase.
+  void ReleaseReplayState(RecoveryProcess& rp);
   void StartNodeRecovery(NodeId node);
   void BeginNodeReplay(NodeRecovery& nr);
   bool HandlePacket(const Packet& packet);
@@ -152,6 +214,11 @@ class RecoveryManager {
 
   std::map<ProcessId, RecoveryProcess> recoveries_;
   std::map<NodeId, NodeRecovery> node_recoveries_;
+  // Admission queue: crashes past the concurrency cap wait here in FIFO
+  // order and are admitted as active recoveries complete or abort.
+  std::deque<std::pair<ProcessId, NodeId>> pending_;
+  std::set<ProcessId> pending_set_;
+  size_t outstanding_replay_bytes_ = 0;  // Across all active recoveries.
   std::unordered_map<ProcessId, uint64_t> rproc_seqs_;
   std::map<NodeId, NodeWatch> watches_;
   uint32_t next_rproc_local_ = 100;
@@ -167,6 +234,9 @@ class RecoveryManager {
   Counter* obs_recoveries_completed_ = nullptr;
   Counter* obs_node_crashes_ = nullptr;
   Counter* obs_replayed_messages_ = nullptr;
+  Counter* obs_replay_bursts_ = nullptr;
+  Counter* obs_replay_burst_retransmits_ = nullptr;
+  Counter* obs_recoveries_deferred_ = nullptr;
 };
 
 }  // namespace publishing

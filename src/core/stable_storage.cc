@@ -85,6 +85,8 @@ void StableStorage::RecordDestruction(const ProcessId& pid) {
   // replay data.
   it->second.info.destroyed = true;
   it->second.entries.clear();
+  it->second.by_id.clear();
+  it->second.read_order.clear();
   it->second.checkpoint.clear();
   it->second.info.has_checkpoint = false;
   it->second.info.log_bytes = 0;
@@ -114,6 +116,7 @@ void StableStorage::AppendMessage(const ProcessId& pid, const MessageId& id, Buf
   entry.arrival = next_arrival_++;
   entry.packet = std::move(packet);
   log.info.log_bytes += entry.packet.size();
+  log.by_id.emplace(entry.id, log.entries.size());
   log.entries.push_back(std::move(entry));
   log.info.log_entries = log.entries.size();
   ++messages_stored_;
@@ -129,15 +132,18 @@ void StableStorage::RecordRead(const ProcessId& reader, const MessageId& id) {
   if (log.ever_read.contains(id)) {
     return;  // Replay re-read; order already known.
   }
-  for (LogEntry& entry : log.entries) {
-    if (entry.id == id) {
-      Journal(StorageJournal::EncodeRecordRead(reader, id));
-      entry.read = true;
-      entry.read_seq = log.next_read_seq++;
-      log.ever_read.insert(id);
-      return;
-    }
+  auto pos = log.by_id.find(id);
+  if (pos == log.by_id.end()) {
+    return;
   }
+  LogEntry& entry = log.entries[pos->second];
+  Journal(StorageJournal::EncodeRecordRead(reader, id));
+  entry.read = true;
+  entry.read_seq = log.next_read_seq++;
+  log.ever_read.insert(id);
+  // read_seq is monotonic, so appending keeps read_order sorted by read_seq
+  // — this is what lets Replay() skip the per-attempt sort.
+  log.read_order.push_back(id);
 }
 
 void StableStorage::RecordSent(const ProcessId& sender, uint64_t seq) {
@@ -163,6 +169,9 @@ void StableStorage::StoreCheckpoint(const ProcessId& pid, Bytes state, uint64_t 
   // per process) falls within the checkpoint's read count.
   std::erase_if(log.entries,
                 [&](const LogEntry& e) { return e.read && e.read_seq <= reads_done; });
+  // Compaction moved the surviving entries; re-point the replay index at
+  // their new positions (same O(n) pass the erase already paid for).
+  RebuildReplayIndex(log);
   log.info.log_bytes = 0;
   for (const LogEntry& entry : log.entries) {
     log.info.log_bytes += entry.packet.size();
@@ -193,26 +202,68 @@ void StableStorage::SetRecovering(const ProcessId& pid, bool recovering) {
   it->second.info.recovering = recovering;
 }
 
-std::vector<LogEntry> StableStorage::ReplayList(const ProcessId& pid) const {
+void StableStorage::RebuildReplayIndex(ProcessLog& log) {
+  log.by_id.clear();
+  log.by_id.reserve(log.entries.size());
+  size_t read_count = 0;
+  for (size_t i = 0; i < log.entries.size(); ++i) {
+    log.by_id.emplace(log.entries[i].id, i);
+    if (log.entries[i].read) {
+      ++read_count;
+    }
+  }
+  // Drop read_order ids whose entries were compacted away.  Surviving ids
+  // stay in read_seq order, so the incremental (checkpoint) path needs no
+  // sort.
+  std::erase_if(log.read_order, [&](const MessageId& id) {
+    auto it = log.by_id.find(id);
+    return it == log.by_id.end() || !log.entries[it->second].read;
+  });
+  if (log.read_order.size() != read_count) {
+    // Cold restore: StorageJournal filled `entries` directly (no incremental
+    // read_order exists), so derive it from the persisted read_seq stamps.
+    log.read_order.clear();
+    log.read_order.reserve(read_count);
+    for (const LogEntry& entry : log.entries) {
+      if (entry.read) {
+        log.read_order.push_back(entry.id);
+      }
+    }
+    std::sort(log.read_order.begin(), log.read_order.end(),
+              [&](const MessageId& a, const MessageId& b) {
+                return log.entries[log.by_id.at(a)].read_seq <
+                       log.entries[log.by_id.at(b)].read_seq;
+              });
+  }
+}
+
+ReplayCursor StableStorage::Replay(const ProcessId& pid) const {
   auto it = logs_.find(pid);
   if (it == logs_.end()) {
     return {};
   }
-  std::vector<LogEntry> read_entries;
-  std::vector<LogEntry> unread_entries;
-  for (const LogEntry& entry : it->second.entries) {
-    if (entry.read) {
-      read_entries.push_back(entry);
-    } else {
-      unread_entries.push_back(entry);
+  const ProcessLog& log = it->second;
+  std::vector<LogEntry> out;
+  out.reserve(log.entries.size());
+  // Read entries in read order — read_order is maintained sorted, so this is
+  // a straight index walk; each push shares the stored packet Buffer.
+  for (const MessageId& id : log.read_order) {
+    auto pos = log.by_id.find(id);
+    if (pos != log.by_id.end()) {
+      out.push_back(log.entries[pos->second]);
     }
   }
-  std::sort(read_entries.begin(), read_entries.end(),
-            [](const LogEntry& a, const LogEntry& b) { return a.read_seq < b.read_seq; });
-  std::sort(unread_entries.begin(), unread_entries.end(),
-            [](const LogEntry& a, const LogEntry& b) { return a.arrival < b.arrival; });
-  read_entries.insert(read_entries.end(), unread_entries.begin(), unread_entries.end());
-  return read_entries;
+  // Then unread entries in arrival order (`entries` is arrival-ordered).
+  for (const LogEntry& entry : log.entries) {
+    if (!entry.read) {
+      out.push_back(entry);
+    }
+  }
+  return ReplayCursor(std::move(out));
+}
+
+std::vector<LogEntry> StableStorage::ReplayList(const ProcessId& pid) const {
+  return std::move(Replay(pid)).TakeEntries();
 }
 
 Result<ProcessLogInfo> StableStorage::Info(const ProcessId& pid) const {

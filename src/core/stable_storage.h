@@ -21,6 +21,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
@@ -44,6 +45,41 @@ struct LogEntry {
   Buffer packet;
   bool read = false;
   uint64_t read_seq = 0;  // Position in the process's read stream.
+};
+
+// Zero-copy walk over one process's replay stream, in replay order (read
+// entries in read order, then unread entries in arrival order).  Each item
+// shares the stored packet's Buffer storage — assembling or walking a cursor
+// never materializes payload bytes.  The cursor is a snapshot: entries
+// appended to the log after construction (live traffic published while a
+// recovery is in flight) are not visible through it, which is exactly the
+// snapshot semantics BeginReplay depends on.
+class ReplayCursor {
+ public:
+  ReplayCursor() = default;
+  explicit ReplayCursor(std::vector<LogEntry> entries) : entries_(std::move(entries)) {
+    for (const LogEntry& entry : entries_) {
+      payload_bytes_ += entry.packet.size();
+    }
+  }
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  // Total logged payload bytes the cursor spans (drives replay back-pressure
+  // budgets without touching the payloads).
+  size_t payload_bytes() const { return payload_bytes_; }
+
+  const LogEntry& operator[](size_t i) const { return entries_[i]; }
+  std::vector<LogEntry>::const_iterator begin() const { return entries_.begin(); }
+  std::vector<LogEntry>::const_iterator end() const { return entries_.end(); }
+
+  // Compatibility escape hatch for callers that still want the materialized
+  // list (ReplayList).  Rvalue-only: the cursor is spent afterwards.
+  std::vector<LogEntry> TakeEntries() && { return std::move(entries_); }
+
+ private:
+  std::vector<LogEntry> entries_;
+  size_t payload_bytes_ = 0;
 };
 
 struct ProcessLogInfo {
@@ -128,8 +164,15 @@ class StableStorage {
   void SetRecovering(const ProcessId& pid, bool recovering);
 
   // --- Recovery support ---
-  // The messages to replay, in order: entries read since the checkpoint in
-  // read order, then unread entries in arrival order (the queue at crash).
+  // Assembles the replay stream for `pid`: entries read since the checkpoint
+  // in read order, then unread entries in arrival order (the queue at
+  // crash).  O(k) in the number of replayed messages — the read order is
+  // maintained incrementally at read time (read_order/by_id below), so no
+  // re-sort happens here — and zero payload bytes are copied (every item
+  // shares the stored Buffer).
+  ReplayCursor Replay(const ProcessId& pid) const;
+  // Compatibility wrapper over Replay() for callers wanting the materialized
+  // vector.  Same order, same cost: no per-attempt re-sort, payloads shared.
   std::vector<LogEntry> ReplayList(const ProcessId& pid) const;
   Result<ProcessLogInfo> Info(const ProcessId& pid) const;
   uint64_t LastSent(const ProcessId& pid) const;
@@ -188,6 +231,14 @@ class StableStorage {
                                                 // retransmitted because its
                                                 // ack was lost must not be
                                                 // logged twice.
+    // Incremental replay index.  by_id maps a retained entry to its position
+    // in `entries` (O(1) RecordRead instead of a linear scan); read_order
+    // lists retained read entries in read_seq order (read_seq is monotonic,
+    // so appends keep it sorted by construction).  Both are maintained at
+    // publish/read time and compacted alongside the entries they index, so
+    // replay assembly never re-sorts.
+    std::unordered_map<MessageId, size_t> by_id;
+    std::vector<MessageId> read_order;
   };
 
   struct NodeLog {
@@ -204,6 +255,10 @@ class StableStorage {
 
   ProcessLog& Ensure(const ProcessId& pid);
   void RefreshAccounting();
+  // Recomputes by_id/read_order from `entries` — the cold path used after
+  // checkpoint compaction and snapshot restore (StorageJournal fills
+  // `entries` directly); the hot path maintains both incrementally.
+  static void RebuildReplayIndex(ProcessLog& log);
   void ObserveDurable(const MessageId& id) {
     if (lifecycle_ == nullptr) {
       return;

@@ -429,6 +429,9 @@ Status StorageJournal::ApplySnapshotProcess(StableStorage& db, Reader& r) {
   if (!status.ok()) {
     return status;
   }
+  // The snapshot carries the entries but not the derived replay index;
+  // recompute it so a rebuilt database replays as fast as a live one.
+  StableStorage::RebuildReplayIndex(log);
   db.logs_[pid] = std::move(log);
   return Status::Ok();
 }

@@ -561,6 +561,8 @@ Status NodeKernel::CrashProcess(const ProcessId& pid) {
   proc->queue.clear();
   proc->pending_live.clear();
   proc->replayed_ids.clear();
+  proc->pending_bursts.clear();
+  proc->next_burst_seq = 1;
   proc->links.clear();
   proc->handler_busy = false;
   if (options_.publishing_enabled) {
@@ -635,6 +637,9 @@ void NodeKernel::HandleKernelPacket(const Packet& packet) {
       return;
     case KernelOp::kRecoveryComplete:
       HandleRecoveryComplete(packet);
+      return;
+    case KernelOp::kReplayBurst:
+      HandleReplayBurst(packet);
       return;
     case KernelOp::kSetLocalIdFloor: {
       auto floor = DecodeLocalIdFloor(packet.body);
@@ -805,6 +810,80 @@ void NodeKernel::HandleRecreateRequest(const Packet& packet) {
                     kFlagGuaranteed | kFlagControl, {});
 }
 
+void NodeKernel::HandleReplayBurst(const Packet& packet) {
+  auto burst = DecodeReplayBurst(packet.body);
+  if (!burst.ok()) {
+    return;
+  }
+  ProcessRecord* proc = Find(burst->pid);
+  if (proc == nullptr || proc->state != ProcessRunState::kRecovering ||
+      proc->recovery_round != burst->recovery_round) {
+    return;  // Stale attempt (§3.5) or not recovering: drop, no ack.
+  }
+  if (packet.segments.size() != burst->segment_count) {
+    return;  // Garbled gather frame: let the sender's timer resend it.
+  }
+  if (burst->burst_seq < proc->next_burst_seq) {
+    // Duplicate of an already-unpacked burst (our ack was lost, or a
+    // go-back-N resend overlapped it): re-ack so the sender advances.
+    SendReplayBurstAck(packet.header.src_process, *proc);
+    return;
+  }
+  proc->pending_bursts[burst->burst_seq] = packet.segments;
+  // Unpack strictly in burst_seq order — this is what preserves the paper's
+  // replay-in-recorded-read-order semantics across an unordered window.
+  for (auto it = proc->pending_bursts.find(proc->next_burst_seq);
+       it != proc->pending_bursts.end();
+       it = proc->pending_bursts.find(proc->next_burst_seq)) {
+    std::vector<Buffer> segments = std::move(it->second);
+    proc->pending_bursts.erase(it);
+    ++proc->next_burst_seq;
+    ++stats_.replay_bursts_accepted;
+    for (const Buffer& segment : segments) {
+      UnpackReplaySegment(*proc, segment);
+    }
+    // Unpacking can crash the process recursively; stop if the record is
+    // no longer the same recovering incarnation.
+    proc = Find(burst->pid);
+    if (proc == nullptr || proc->state != ProcessRunState::kRecovering ||
+        proc->recovery_round != burst->recovery_round) {
+      return;
+    }
+  }
+  SendReplayBurstAck(packet.header.src_process, *proc);
+}
+
+void NodeKernel::UnpackReplaySegment(ProcessRecord& proc, const Buffer& segment) {
+  auto packet = ParsePacket(segment);
+  if (!packet.ok()) {
+    PUB_LOG_ERROR("%s: corrupt replay segment for %s", ToString(node_).c_str(),
+                  ToString(proc.pid).c_str());
+    return;
+  }
+  packet->header.flags |= kFlagReplay | kFlagGuaranteed;
+  packet->header.dst_node = node_;
+  // The lifecycle's `replayed` stage counts once per message per recovery
+  // round: the in-order unpack above already drops whole duplicate bursts,
+  // and replayed_ids filters re-injections across superseded rounds.
+  if (lifecycle_ != nullptr && !proc.replayed_ids.contains(packet->header.id)) {
+    CausalContext ctx;
+    ctx.id = packet->header.id;
+    ctx.origin = packet->header.src_node;
+    ctx.flags = packet->header.flags;
+    lifecycle_->Observe(ctx, LifecycleStage::kReplayed, node_, packet->header.dst_process);
+  }
+  RouteArrival(*packet);
+}
+
+void NodeKernel::SendReplayBurstAck(const ProcessId& dst, const ProcessRecord& proc) {
+  // Unguaranteed: a lost ack just means the sender's go-back-N timer fires
+  // and the duplicate burst is re-acked above.
+  SendKernelMessage(dst,
+                    EncodeReplayBurstAck({proc.pid, proc.recovery_round,
+                                          proc.next_burst_seq - 1}),
+                    kFlagControl, {});
+}
+
 void NodeKernel::HandleRecoveryComplete(const Packet& packet) {
   auto target = DecodeRecoveryTarget(packet.body);
   if (!target.ok()) {
@@ -822,6 +901,8 @@ void NodeKernel::HandleRecoveryComplete(const Packet& packet) {
     }
     proc->pending_live.clear();
     proc->replayed_ids.clear();
+    proc->pending_bursts.clear();
+    proc->next_burst_seq = 1;
     proc->state = ProcessRunState::kRunning;
     ScheduleDispatch(proc->pid);
   }

@@ -119,6 +119,7 @@ struct KernelStats {
   uint64_t program_reads = 0;
   uint64_t sends_suppressed = 0;       // Recovery resend suppression (§4.7).
   uint64_t replay_accepted = 0;
+  uint64_t replay_bursts_accepted = 0;  // In-order bursts unpacked (§11).
   uint64_t live_held_during_recovery = 0;
   uint64_t checkpoints_sent = 0;
   uint64_t processes_created = 0;
@@ -250,6 +251,12 @@ class NodeKernel {
     std::deque<QueuedMessage> pending_live;
     std::unordered_set<MessageId> replayed_ids;
     uint64_t recovery_round = 0;  // Attempt nonce; stale completions ignored.
+
+    // Pipelined replay reassembly (DESIGN.md §11): bursts unpack strictly in
+    // burst_seq order; arrivals past a gap buffer here until the go-back-N
+    // sender fills it.  Cumulative ack value = next_burst_seq - 1.
+    uint64_t next_burst_seq = 1;
+    std::map<uint64_t, std::vector<Buffer>> pending_bursts;
   };
 
   class ApiImpl;
@@ -276,6 +283,9 @@ class NodeKernel {
   void HandleCreateOnThisNode(const CreateProcessRequest& req, const ProcessId& requester);
   void HandleRecreateRequest(const Packet& packet);
   void HandleRecoveryComplete(const Packet& packet);
+  void HandleReplayBurst(const Packet& packet);
+  void UnpackReplaySegment(ProcessRecord& proc, const Buffer& segment);
+  void SendReplayBurstAck(const ProcessId& dst, const ProcessRecord& proc);
   void HandleStateQuery(const Packet& packet);
   Result<ProcessId> CreateProcessInternal(const std::string& program,
                                           std::vector<Link> initial_links, bool recoverable);

@@ -345,6 +345,86 @@ Result<RecoveryTarget> DecodeRecoveryTarget(const Bytes& body) {
   return target;
 }
 
+Bytes EncodeReplayBurst(const ReplayBurst& burst) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kReplayBurst));
+  w.WriteProcessId(burst.pid);
+  w.WriteU64(burst.recovery_round);
+  w.WriteU64(burst.burst_seq);
+  w.WriteU32(burst.segment_count);
+  return w.TakeBytes();
+}
+
+Result<ReplayBurst> DecodeReplayBurst(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kReplayBurst);
+  if (!op.ok()) {
+    return op.status();
+  }
+  ReplayBurst burst;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  burst.pid = *pid;
+  auto round = r.ReadU64();
+  if (!round.ok()) {
+    return round.status();
+  }
+  burst.recovery_round = *round;
+  auto seq = r.ReadU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  burst.burst_seq = *seq;
+  auto count = r.ReadU32();
+  if (!count.ok()) {
+    return count.status();
+  }
+  burst.segment_count = *count;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return burst;
+}
+
+Bytes EncodeReplayBurstAck(const ReplayBurstAck& ack) {
+  Writer w;
+  w.WriteU8(static_cast<uint8_t>(KernelOp::kReplayBurstAck));
+  w.WriteProcessId(ack.pid);
+  w.WriteU64(ack.recovery_round);
+  w.WriteU64(ack.cumulative_seq);
+  return w.TakeBytes();
+}
+
+Result<ReplayBurstAck> DecodeReplayBurstAck(const Bytes& body) {
+  Reader r(std::span<const uint8_t>(body.data(), body.size()));
+  auto op = ReadOp(r, KernelOp::kReplayBurstAck);
+  if (!op.ok()) {
+    return op.status();
+  }
+  ReplayBurstAck ack;
+  auto pid = r.ReadProcessId();
+  if (!pid.ok()) {
+    return pid.status();
+  }
+  ack.pid = *pid;
+  auto round = r.ReadU64();
+  if (!round.ok()) {
+    return round.status();
+  }
+  ack.recovery_round = *round;
+  auto seq = r.ReadU64();
+  if (!seq.ok()) {
+    return seq.status();
+  }
+  ack.cumulative_seq = *seq;
+  if (!r.AtEnd()) {
+    return TrailingBytes();
+  }
+  return ack;
+}
+
 Bytes EncodeLocalIdFloor(const LocalIdFloor& payload) {
   Writer w;
   w.WriteU8(static_cast<uint8_t>(KernelOp::kSetLocalIdFloor));
@@ -477,10 +557,15 @@ Result<RestoreNodeRequest> DecodeRestoreNodeRequest(const Bytes& body) {
 }
 
 Bytes EncodeNodeReplayMessage(const NodeReplayMessage& msg) {
+  return EncodeNodeReplayMessage(msg.step,
+                                 std::span<const uint8_t>(msg.packet.data(), msg.packet.size()));
+}
+
+Bytes EncodeNodeReplayMessage(uint64_t step, std::span<const uint8_t> packet) {
   Writer w;
   w.WriteU8(static_cast<uint8_t>(KernelOp::kNodeReplayMessage));
-  w.WriteU64(msg.step);
-  w.WriteBytes(std::span<const uint8_t>(msg.packet.data(), msg.packet.size()));
+  w.WriteU64(step);
+  w.WriteBytes(packet);
   return w.TakeBytes();
 }
 

@@ -58,6 +58,10 @@ enum class KernelOp : uint8_t {
   kRecoveryCompleteAck = 51,
   kSetLocalIdFloor = 52,  // Restarted node: do not reuse local ids <= floor.
 
+  // --- Pipelined replay (DESIGN.md §11) ---
+  kReplayBurst = 58,     // Window of logged messages packed into one frame.
+  kReplayBurstAck = 59,  // Cumulative ack for in-order-processed bursts.
+
   // --- Recorder restart state queries (§3.3.4) ---
   kStateQuery = 64,
   kStateReply = 65,
@@ -155,6 +159,33 @@ struct RecoveryTarget {
 Bytes EncodeRecoveryTarget(KernelOp op, const RecoveryTarget& target);
 Result<RecoveryTarget> DecodeRecoveryTarget(const Bytes& body);
 
+// --- Pipelined replay (DESIGN.md §11) ---
+//
+// The recovery manager streams the replay list as numbered bursts instead of
+// one stop-and-wait frame per logged message.  The burst body carries only
+// this descriptor; the logged packets themselves ride as shared-Buffer
+// scatter/gather segments on the Packet/Frame (zero payload bytes copied
+// between stable storage and the kernel).  Bursts travel unguaranteed — the
+// recovery layer runs its own window with cumulative acks and go-back-N
+// retransmission, because the transport's per-destination stop-and-wait
+// window is exactly the serialization this path exists to escape.
+struct ReplayBurst {
+  ProcessId pid;                // Process being recovered.
+  uint64_t recovery_round = 0;  // §3.5 attempt nonce; stale bursts dropped.
+  uint64_t burst_seq = 0;       // 1-based position in the replay stream.
+  uint32_t segment_count = 0;   // Expected segments; mismatch = corrupt frame.
+};
+Bytes EncodeReplayBurst(const ReplayBurst& burst);
+Result<ReplayBurst> DecodeReplayBurst(const Bytes& body);
+
+struct ReplayBurstAck {
+  ProcessId pid;
+  uint64_t recovery_round = 0;
+  uint64_t cumulative_seq = 0;  // Every burst <= this was unpacked in order.
+};
+Bytes EncodeReplayBurstAck(const ReplayBurstAck& ack);
+Result<ReplayBurstAck> DecodeReplayBurstAck(const Bytes& body);
+
 struct LocalIdFloor {
   uint32_t floor = 0;            // Do not assign local process ids <= floor.
   uint64_t kernel_seq_floor = 0; // Resume kernel-process message ids above
@@ -190,6 +221,9 @@ struct NodeReplayMessage {
   Bytes packet;        // The original serialized transport packet.
 };
 Bytes EncodeNodeReplayMessage(const NodeReplayMessage& msg);
+// Span overload: lets the recovery manager serialize straight from the
+// stored Buffer view without a counted ToBytes materialization first.
+Bytes EncodeNodeReplayMessage(uint64_t step, std::span<const uint8_t> packet);
 Result<NodeReplayMessage> DecodeNodeReplayMessage(const Bytes& body);
 
 struct NodeRecoveryRound {

@@ -9,6 +9,7 @@
 #define SRC_NET_FRAME_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "src/common/buffer.h"
 #include "src/common/ids.h"
@@ -42,16 +43,29 @@ struct Frame {
   // Set by fault injection when the copy handed to a receiver was damaged in
   // flight; the link layer CRC check will reject it.
   bool corrupted = false;
+  // Scatter/gather segments: extra shared-Buffer views transmitted after the
+  // payload (replay bursts).  Like the payload these are refcounted views —
+  // DeliverCopy's per-station Frame copy shares their storage — but they DO
+  // occupy simulated wire time (see WireBytes), unlike the causal sidecar.
+  std::vector<Buffer> segments;
   // Observability sidecar stamped by the sending transport endpoint: carries
   // the payload packet's message id/origin/attempt so every layer that sees
   // the frame can key its lifecycle observation without re-parsing the
   // payload.  POD, not serialized, zero bytes on the simulated wire.
   CausalContext causal;
 
-  // Physical size on the wire: payload plus preamble/addresses/type header.
-  size_t WireBytes() const { return payload.size() + kHeaderBytes; }
+  // Physical size on the wire: payload plus preamble/addresses/type header,
+  // plus each gather segment and its length prefix.
+  size_t WireBytes() const {
+    size_t bytes = payload.size() + kHeaderBytes;
+    for (const Buffer& segment : segments) {
+      bytes += segment.size() + kSegmentHeaderBytes;
+    }
+    return bytes;
+  }
 
   static constexpr size_t kHeaderBytes = 18;
+  static constexpr size_t kSegmentHeaderBytes = 4;
 };
 
 }  // namespace publishing

@@ -66,6 +66,9 @@ void TransportEndpoint::Send(Packet packet) {
     frame.dst = packet.header.dst_node;
     frame.type = packet.header.control() ? FrameType::kControl : FrameType::kData;
     frame.payload = LinkWrap(SerializePacket(packet));
+    // Gather segments ride on the frame as shared views (no payload copy);
+    // WireBytes accounts for their transmit time.
+    frame.segments = std::move(packet.segments);
     frame.causal = MakeCausal(packet.header, node_, 0);
     ++stats_.data_sent;
     if (obs_data_sent_ != nullptr) {
@@ -194,6 +197,10 @@ void TransportEndpoint::OnFrame(const Frame& frame) {
     return;
   }
   if (packet->header.dst_node == node_ || packet->header.dst_node == kBroadcastNode) {
+    // Re-attach the frame's gather segments (shared views — a refcount bump,
+    // not a payload copy) so the receiver sees the same scatter/gather packet
+    // the sender handed the medium.
+    packet->segments = frame.segments;
     HandleData(*packet);
   }
 }

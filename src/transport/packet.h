@@ -11,7 +11,9 @@
 #define SRC_TRANSPORT_PACKET_H_
 
 #include <cstdint>
+#include <vector>
 
+#include "src/common/buffer.h"
 #include "src/common/ids.h"
 #include "src/common/serialization.h"
 #include "src/common/status.h"
@@ -51,6 +53,12 @@ struct Packet {
   Bytes link_blob;
   // Uninterpreted message body.
   Bytes body;
+  // Scatter/gather sidecar: shared Buffer views riding along with the packet
+  // (replay bursts carry the logged packets here, straight out of stable
+  // storage).  In-memory only — NOT serialized, so ParsePacket stays the
+  // exact inverse of SerializePacket; segment bytes are billed to the wire
+  // via Frame::WireBytes instead (gather-DMA model).
+  std::vector<Buffer> segments;
 };
 
 // Transport acknowledgement: "processor from which the message originates

@@ -497,6 +497,32 @@ TEST(LifecycleIntegration, CrashRecoveryStaysOracleCleanAndDumpsFlight) {
   EXPECT_TRUE(h.tracer.Contains("fault.crash_process"));
 }
 
+TEST(LifecycleIntegration, BurstReplayCountsReplayedOncePerMessage) {
+  FullObsHarness h;
+  ProcessId echo = h.SpawnPingPong();
+  h.system.RunFor(Seconds(2));
+  ASSERT_TRUE(h.system.CrashProcess(echo).ok());
+  ASSERT_TRUE(h.system.RunUntilRecovered(echo, Seconds(30)));
+  h.system.RunFor(Seconds(2));
+  h.oracle.CheckQuiescent();
+  EXPECT_EQ(h.oracle.total_violations(), 0u) << h.oracle.ReportJson();
+
+  // The default recovery path streams the log as multi-message burst frames
+  // (DESIGN.md §11)...
+  EXPECT_GT(h.system.recovery().stats().replay_bursts_sent, 0u);
+  // ...and each replayed message still hits the `replayed` lifecycle stage
+  // exactly once for the recovery round, burst packing notwithstanding.
+  uint64_t replayed_records = 0;
+  for (const auto& [id, rec] : h.lifecycle.table()) {
+    if (rec.Saw(LifecycleStage::kReplayed)) {
+      ++replayed_records;
+      EXPECT_EQ(rec.count[static_cast<size_t>(LifecycleStage::kReplayed)], 1u)
+          << "message " << ToString(id) << " observed `replayed` more than once";
+    }
+  }
+  EXPECT_GT(replayed_records, 0u);
+}
+
 TEST(LifecycleIntegration, CrashFlightDumpIsDeterministic) {
   auto run = [] {
     FullObsHarness h;
