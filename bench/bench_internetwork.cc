@@ -1,0 +1,281 @@
+// Internetwork scaling study (DESIGN.md §13): users vs segments.
+//
+// A single recorder saturates around 115 users (bench_users_capacity); the
+// multi-segment internetwork shards that responsibility, so aggregate
+// capacity should scale with the segment count while per-conversation latency
+// stays near the single-segment baseline (cross-segment pairs pay the
+// gateway hops).  This bench sweeps a ring internetwork at 1/2/4/8 segments
+// with a fixed per-segment population, drives every user to completion, and
+// reports the publish-ack latency distribution (virtual time from first send
+// to the end-to-end acknowledgement) per sweep point, with the invariant
+// oracle watching every lifecycle transition.
+//
+// Emits BENCH_internetwork.json (flat, deterministic: virtual-time numbers
+// only, so two same-seed runs produce byte-identical files — CI diffs them)
+// plus internetwork_oracle_report.json (the largest sweep point's oracle
+// report).  Exits non-zero if any conversation stalls, any invariant trips,
+// or a multi-segment point somehow never crosses a gateway.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/internet/internet.h"
+#include "src/obs/lifecycle.h"
+#include "src/obs/observability.h"
+#include "src/obs/oracle.h"
+#include "tests/test_programs.h"
+
+namespace publishing {
+namespace {
+
+constexpr size_t kNodesPerSegment = 8;
+constexpr size_t kUsersPerSegment = 2500;
+constexpr uint64_t kPingsPerUser = 2;
+constexpr size_t kWaves = 10;
+
+struct SweepResult {
+  size_t segments = 0;
+  size_t users = 0;
+  size_t completed = 0;
+  uint64_t messages = 0;
+  uint64_t forwarded = 0;
+  uint64_t gateway_drops = 0;
+  uint64_t violations = 0;
+  StatAccumulator publish_ack_ms;
+  std::string oracle_report;
+};
+
+SweepResult RunSweepPoint(size_t segments) {
+  InternetConfig config;
+  config.segments = segments;
+  config.nodes_per_segment = kNodesPerSegment;
+  config.seed = 7;
+  // No faults in this study, so the only retransmission trigger would be
+  // queueing delay itself; push the timer far past any backlog a 2500-user
+  // segment can build, or retransmit storms poison the latency numbers.
+  config.kernel.transport.retransmit_timeout = Seconds(60);
+  config.kernel.transport.max_retransmit_timeout = Seconds(120);
+  // Headroom over the default 64-frame queue: wave fronts of cross-segment
+  // conversations arrive in bursts.
+  config.gateway.max_queue_frames = 256;
+  config.gateway.max_queue_bytes = 1024 * 1024;
+  // No crashes: keep the recovery machinery out of the traffic.
+  config.start_recovery_managers = false;
+
+  InvariantOracle oracle(OracleOptions{.policy = OraclePolicy::kCount});
+  Internet net(config);
+  LifecycleTracker lifecycle(&net.sim(), /*max_messages=*/1 << 18);
+  lifecycle.AttachOracle(&oracle);
+  Observability obs;
+  obs.lifecycle = &lifecycle;
+  net.EnableObservability(obs);
+
+  net.registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  net.registry().Register("pinger",
+                          [] { return std::make_unique<PingerProgram>(kPingsPerUser); });
+
+  // One echo server per node; pingers link to them.
+  std::vector<std::vector<ProcessId>> echoes(segments);
+  for (size_t s = 0; s < segments; ++s) {
+    for (size_t n = 0; n < kNodesPerSegment; ++n) {
+      auto echo = net.Spawn(Internet::ProcessingNode(s, n), "echo");
+      if (!echo.ok()) {
+        std::fprintf(stderr, "bench_internetwork: spawn echo failed: %s\n",
+                     echo.status().ToString().c_str());
+        std::exit(1);
+      }
+      echoes[s].push_back(*echo);
+    }
+  }
+
+  // Users arrive in waves (staggered start keeps the first-wave burst from
+  // overstating queueing).  User i on segment s lives on node i % 8 and
+  // talks to an echo one node over; every fourth user talks to the next
+  // segment around the ring instead (25% cross-segment traffic).
+  struct User {
+    ProcessId pid;
+    NodeId node;
+  };
+  std::vector<User> users;
+  users.reserve(segments * kUsersPerSegment);
+  const size_t per_wave = kUsersPerSegment / kWaves;
+  for (size_t wave = 0; wave < kWaves; ++wave) {
+    for (size_t s = 0; s < segments; ++s) {
+      for (size_t j = 0; j < per_wave; ++j) {
+        const size_t i = wave * per_wave + j;
+        const NodeId home = Internet::ProcessingNode(s, i % kNodesPerSegment);
+        const bool cross = segments > 1 && i % 4 == 0;
+        const size_t target_segment = cross ? (s + 1) % segments : s;
+        const ProcessId& echo =
+            echoes[target_segment][(i + 1) % kNodesPerSegment];
+        auto pinger = net.Spawn(home, "pinger", {Link{echo, 1, 0, 0}});
+        if (!pinger.ok()) {
+          std::fprintf(stderr, "bench_internetwork: spawn pinger failed: %s\n",
+                       pinger.status().ToString().c_str());
+          std::exit(1);
+        }
+        users.push_back(User{*pinger, home});
+      }
+    }
+    net.RunFor(Seconds(5));
+  }
+
+  // Drive to completion: every user must see all its pongs.
+  auto all_done = [&net, &users]() {
+    for (const User& user : users) {
+      const auto* p =
+          dynamic_cast<const PingerProgram*>(net.kernel(user.node)->ProgramFor(user.pid));
+      if (p == nullptr || !p->done()) {
+        return false;
+      }
+    }
+    return true;
+  };
+  for (size_t round = 0; round < 40 && !all_done(); ++round) {
+    net.RunFor(Seconds(30));
+  }
+
+  SweepResult result;
+  result.segments = segments;
+  result.users = users.size();
+  for (const User& user : users) {
+    const auto* p =
+        dynamic_cast<const PingerProgram*>(net.kernel(user.node)->ProgramFor(user.pid));
+    if (p != nullptr && p->done()) {
+      ++result.completed;
+    }
+  }
+  for (size_t g = 0; g < net.gateway_count(); ++g) {
+    result.forwarded += net.gateway(g).stats().frames_forwarded;
+    result.gateway_drops += net.gateway(g).stats().dropped_queue_full +
+                            net.gateway(g).stats().dropped_down;
+  }
+  // Publish-ack latency per guaranteed data message: first send to the
+  // end-to-end acknowledgement, in virtual ms.
+  for (const auto& [id, record] : lifecycle.table()) {
+    if ((record.flags & kCausalGuaranteed) == 0 ||
+        (record.flags & kCausalControl) != 0) {
+      continue;
+    }
+    const SimTime sent = record.FirstTime(LifecycleStage::kSent);
+    const SimTime acked = record.FirstTime(LifecycleStage::kAcked);
+    if (sent >= 0 && acked >= 0) {
+      result.publish_ack_ms.Add(ToMillis(acked - sent));
+    }
+    ++result.messages;
+  }
+  oracle.CheckQuiescent();
+  result.violations = oracle.total_violations();
+  result.oracle_report = oracle.ReportJson();
+  net.EnableObservability(Observability{});
+  return result;
+}
+
+int RunStudy() {
+  BenchJson json("internetwork");
+  PrintHeader("Internetwork scaling: users vs segments (ring topology)");
+  std::printf("  %8s | %7s %9s | %9s %9s | %8s %6s\n", "segments", "users",
+              "messages", "p50 ms", "p99 ms", "forwards", "drops");
+  PrintRule();
+
+  bool failed = false;
+  std::string largest_report;
+  for (size_t segments : {1, 2, 4, 8}) {
+    SweepResult r = RunSweepPoint(segments);
+    std::printf("  %8zu | %7zu %9llu | %9.2f %9.2f | %8llu %6llu%s\n", r.segments,
+                r.users, static_cast<unsigned long long>(r.messages),
+                r.publish_ack_ms.p50(), r.publish_ack_ms.p99(),
+                static_cast<unsigned long long>(r.forwarded),
+                static_cast<unsigned long long>(r.gateway_drops),
+                r.violations != 0 ? "  <- ORACLE VIOLATIONS" : "");
+
+    const std::string prefix = "s" + std::to_string(r.segments) + ".";
+    json.Set(prefix + "segments", static_cast<double>(r.segments));
+    json.Set(prefix + "users", static_cast<double>(r.users));
+    json.Set(prefix + "completed", static_cast<double>(r.completed));
+    json.Set(prefix + "messages", static_cast<double>(r.messages));
+    json.Set(prefix + "forwarded_frames", static_cast<double>(r.forwarded));
+    json.Set(prefix + "gateway_drops", static_cast<double>(r.gateway_drops));
+    json.Set(prefix + "oracle_violations", static_cast<double>(r.violations));
+    json.SetStats(prefix + "publish_ack_ms.", r.publish_ack_ms);
+
+    if (r.completed != r.users) {
+      std::fprintf(stderr,
+                   "bench_internetwork: %zu segments: only %zu/%zu users completed\n",
+                   r.segments, r.completed, r.users);
+      failed = true;
+    }
+    if (r.violations != 0) {
+      std::fprintf(stderr, "bench_internetwork: %zu segments: oracle report:\n%s\n",
+                   r.segments, r.oracle_report.c_str());
+      failed = true;
+    }
+    if (r.segments > 1 && r.forwarded == 0) {
+      std::fprintf(stderr,
+                   "bench_internetwork: %zu segments but no gateway traffic\n",
+                   r.segments);
+      failed = true;
+    }
+    largest_report = r.oracle_report;
+  }
+  PrintRule();
+  std::printf("  per-segment population fixed at %zu users; aggregate capacity\n"
+              "  scales with segments while the recorder on each segment only\n"
+              "  ever publishes its home traffic.\n\n", kUsersPerSegment);
+
+  json.Write();
+  if (std::FILE* file = std::fopen("internetwork_oracle_report.json", "wb")) {
+    std::fputs(largest_report.c_str(), file);
+    std::fclose(file);
+    std::printf("wrote internetwork_oracle_report.json\n");
+  } else {
+    std::fprintf(stderr, "bench_internetwork: cannot write oracle report\n");
+    failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+// Timing section: the steady-state cost of one cross-segment conversation on
+// a small ring, per ping round-trip.
+void BM_CrossSegmentPingPong(benchmark::State& state) {
+  InternetConfig config;
+  config.segments = 2;
+  config.nodes_per_segment = 1;
+  config.kernel.transport.retransmit_timeout = Seconds(60);
+  Internet net(config);
+  net.registry().Register("echo", [] { return std::make_unique<EchoProgram>(); });
+  net.registry().Register("pinger",
+                          [] { return std::make_unique<PingerProgram>(1u << 30); });
+  auto echo = net.Spawn(Internet::ProcessingNode(1, 0), "echo");
+  auto pinger = net.Spawn(Internet::ProcessingNode(0, 0), "pinger",
+                          {Link{*echo, 1, 0, 0}});
+  const NodeId home = Internet::ProcessingNode(0, 0);
+  const auto* p =
+      dynamic_cast<const PingerProgram*>(net.kernel(home)->ProgramFor(*pinger));
+  uint64_t last = p->received();
+  for (auto _ : state) {
+    while (p->received() == last) {
+      net.RunFor(Millis(1));
+    }
+    last = p->received();
+  }
+}
+BENCHMARK(BM_CrossSegmentPingPong);
+
+}  // namespace
+}  // namespace publishing
+
+int main(int argc, char** argv) {
+  const int status = publishing::RunStudy();
+  if (status != 0) {
+    return status;
+  }
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

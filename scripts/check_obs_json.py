@@ -29,12 +29,12 @@ import sys
 
 LIFECYCLE_STAGES = {
     "sent", "on_wire", "overheard", "published", "durable",
-    "delivered", "acked", "read", "replayed",
+    "delivered", "acked", "read", "replayed", "forwarded",
 }
 
 ORACLE_MONITORS = {
     "recorder_completeness", "receive_order", "duplicate_delivery",
-    "durability_before_ack",
+    "durability_before_ack", "gateway_forwarding",
 }
 
 
@@ -104,6 +104,16 @@ def check_lifecycle(doc, path):
             require(stage in LIFECYCLE_STAGES, path,
                     "%s: unknown stage %r" % (where, stage))
             check_stage_entry(entry, path, "%s.stages.%s" % (where, stage))
+        forwards = msg.get("forwards")
+        if forwards is not None:
+            require(isinstance(forwards, list), path,
+                    "%s.forwards must be an array" % where)
+            for j, hop in enumerate(forwards):
+                fwhere = "%s.forwards[%d]" % (where, j)
+                require(isinstance(hop, dict), path, "%s must be an object" % fwhere)
+                for key in ("from", "to"):
+                    require(is_number(hop.get(key)), path,
+                            "%s.%s missing" % (fwhere, key))
 
 
 def check_flight(doc, path):
@@ -245,7 +255,9 @@ GOOD = {
     "observability_lifecycle.json":
         '{"messages":[{"id":"msg(1.2#3)","origin":1,"dst_node":2,"flags":1,'
         '"hops":0,"stages":{"sent":{"first_ms":0,"count":1},'
-        '"read":{"first_ms":1.5,"count":1}}}],"observed":2,"evicted":0}',
+        '"forwarded":{"first_ms":0.7,"count":1},'
+        '"read":{"first_ms":1.5,"count":1}},'
+        '"forwards":[{"from":0,"to":1}]}],"observed":3,"evicted":0}',
     "flightrec-1-crash_process.json":
         '{"reason":"crash_process","detail":"pid(2.2)","per_node_capacity":256,'
         '"recorded":9,"nodes":[{"node":1,"events":[{"seq":0,"t_ms":0,'
@@ -266,7 +278,8 @@ GOOD = {
         '{"monitors":{"recorder_completeness":{"enabled":1,"violations":0},'
         '"receive_order":{"enabled":1,"violations":0},'
         '"duplicate_delivery":{"enabled":1,"violations":0},'
-        '"durability_before_ack":{"enabled":0,"violations":0}},'
+        '"durability_before_ack":{"enabled":0,"violations":0},'
+        '"gateway_forwarding":{"enabled":1,"violations":0}},'
         '"total_violations":0,"violations":[]}',
 }
 
@@ -299,8 +312,14 @@ BAD = {
         '{"monitors":{"recorder_completeness":{"enabled":true,"violations":0},'
         '"receive_order":{"enabled":1,"violations":0},'
         '"duplicate_delivery":{"enabled":1,"violations":0},'
-        '"durability_before_ack":{"enabled":1,"violations":0}},'
+        '"durability_before_ack":{"enabled":1,"violations":0},'
+        '"gateway_forwarding":{"enabled":1,"violations":0}},'
         '"total_violations":0,"violations":[]}',
+    # Forward hops need numeric segment ids.
+    "bad_forward_lifecycle.json":
+        '{"messages":[{"id":"m","origin":1,"dst_node":1001,"flags":1,"hops":0,'
+        '"stages":{"sent":{"first_ms":0,"count":1}},'
+        '"forwards":[{"from":"zero","to":1}]}],"observed":1,"evicted":0}',
 }
 
 

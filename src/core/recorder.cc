@@ -94,6 +94,21 @@ bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body)
   if (down_) {
     return false;
   }
+  // Responsibility scoping (src/internet): a frame in transit between two
+  // foreign nodes crosses this segment only to reach a gateway.  It is not
+  // ours to record or veto — the destination's home recorder gates it on the
+  // segment where it is finally delivered.
+  const bool src_scope =
+      !options_.responsible_for || options_.responsible_for(packet.header.src_node);
+  const bool dst_scope =
+      packet.header.dst_node == kBroadcastNode
+          ? src_scope
+          : !options_.responsible_for ||
+                options_.responsible_for(packet.header.dst_node);
+  if (!src_scope && !dst_scope) {
+    ++stats_.transit_skipped;
+    return true;
+  }
   const size_t wire_bytes = wire_body.size();
   if (lifecycle_ != nullptr) {
     CausalContext ctx;
@@ -107,8 +122,12 @@ bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body)
     return true;  // Recovery injections are already in the log.
   }
   // Track the sender's high-water mark even for control traffic — restart
-  // floors (§4.7) need the kernel processes' sequence numbers too.
-  storage_->RecordSent(packet.header.src_process, packet.header.id.sequence);
+  // floors (§4.7) need the kernel processes' sequence numbers too.  Scoped to
+  // our own senders: a foreign sender's watermark lives with its home
+  // recorder, which overhears every frame that sender puts on its segment.
+  if (src_scope) {
+    storage_->RecordSent(packet.header.src_process, packet.header.id.sequence);
+  }
   if (packet.header.control()) {
     ++stats_.control_seen;
     return true;
@@ -116,6 +135,12 @@ bool Recorder::RecordParsedPacket(const Packet& packet, const Buffer& wire_body)
   if (!packet.header.guaranteed()) {
     // Unguaranteed messages carry dated data by contract (§4.3.3) and are
     // not replayed.
+    return true;
+  }
+  if (!dst_scope) {
+    // Outbound cross-segment traffic: the destination's home recorder
+    // publishes it where it is delivered; we only needed the send watermark.
+    ++stats_.foreign_dst_skipped;
     return true;
   }
   const SimDuration publish_cost = PublishCpuCost(options_.path);

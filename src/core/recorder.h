@@ -41,6 +41,16 @@ struct RecorderOptions {
   // in this mode.
   bool node_unit = false;
   TransportOptions transport;
+  // Multi-segment responsibility partition (src/internet).  When set, this
+  // recorder records send watermarks only for frames whose *source* node it
+  // is responsible for and publishes only messages whose *destination* node
+  // it is responsible for; frames between two foreign nodes are in transit
+  // through this segment and pass un-vetoed and unrecorded — their home
+  // recorders overhear them on their own segments.  Broadcast destinations
+  // inherit the source's scope (broadcasts never cross a gateway).  Null
+  // (the default): responsible for every node, the single-segment paper
+  // configuration.
+  std::function<bool(NodeId)> responsible_for;
 };
 
 struct RecorderStats {
@@ -53,6 +63,10 @@ struct RecorderStats {
   uint64_t replay_bursts_seen = 0;    // Burst frames overheard on the wire.
   uint64_t replay_segments_seen = 0;  // Logged packets riding in those bursts.
   uint64_t checkpoints_stored = 0;
+  uint64_t transit_skipped = 0;      // Neither endpoint in scope (internet).
+  uint64_t foreign_dst_skipped = 0;  // Sender in scope, destination not:
+                                     // watermark recorded, publish left to
+                                     // the destination's home recorder.
   SimDuration publish_cpu = 0;
 };
 

@@ -11,9 +11,10 @@ namespace {
 constexpr uint32_t kManagerLocalId = 2;
 }  // namespace
 
-RecoveryManager::RecoveryManager(Cluster* cluster, Recorder* recorder,
+RecoveryManager::RecoveryManager(NodeDirectory* directory, Recorder* recorder,
                                  RecoveryManagerOptions options)
-    : cluster_(cluster), recorder_(recorder), options_(options), sim_(&cluster->sim()) {}
+    : directory_(directory), recorder_(recorder), options_(options),
+      sim_(&directory->sim()) {}
 
 RecoveryManager::~RecoveryManager() = default;
 
@@ -41,7 +42,7 @@ void RecoveryManager::SetObservability(const Observability& obs) {
 
 void RecoveryManager::Start() {
   ProcessId manager{recorder_->node(), kManagerLocalId};
-  cluster_->names().SetLocation(manager, recorder_->node());
+  directory_->names().SetLocation(manager, recorder_->node());
 
   recorder_->set_crash_notice_handler(
       [this](const ProcessId& pid) { OnProcessCrashNotice(pid); });
@@ -49,7 +50,7 @@ void RecoveryManager::Start() {
   recorder_->set_packet_handler([this](const Packet& packet) { return HandlePacket(packet); });
 
   // One watch process per processing node (§4.6).
-  for (NodeId node : cluster_->node_ids()) {
+  for (NodeId node : directory_->node_ids()) {
     NodeWatch watch;
     watch.last_pong = sim_->Now();
     watch.task = std::make_unique<PeriodicTask>(sim_, options_.watchdog_period,
@@ -63,7 +64,7 @@ uint64_t RecoveryManager::seq_for(const ProcessId& rproc) { return ++rproc_seqs_
 
 void RecoveryManager::SendFromRecoveryPid(const ProcessId& rproc, const ProcessId& dst,
                                           Bytes body) {
-  auto location = cluster_->names().Locate(dst);
+  auto location = directory_->names().Locate(dst);
   if (!location.ok()) {
     return;
   }
@@ -97,7 +98,7 @@ void RecoveryManager::WatchdogTick(NodeId node) {
   // because the next period asks again.
   ProcessId manager{recorder_->node(), kManagerLocalId};
   ProcessId kernel{node, NodeKernel::kKernelLocalId};
-  auto location = cluster_->names().Locate(kernel);
+  auto location = directory_->names().Locate(kernel);
   if (!location.ok()) {
     return;
   }
@@ -167,7 +168,7 @@ void RecoveryManager::TriggerNodeRecovery(NodeId node) {
     case NodeRecoveryPolicy::kIgnore:
       return;
     case NodeRecoveryPolicy::kRestartSameNode: {
-      NodeKernel* kernel = cluster_->kernel(node);
+      NodeKernel* kernel = directory_->kernel(node);
       if (kernel == nullptr) {
         return;
       }
@@ -179,7 +180,7 @@ void RecoveryManager::TriggerNodeRecovery(NodeId node) {
     }
     case NodeRecoveryPolicy::kMigrateToSpare:
       target = options_.spare_node;
-      if (cluster_->kernel(target) == nullptr) {
+      if (directory_->kernel(target) == nullptr) {
         PUB_LOG_ERROR("recovery: spare node %u missing", target.value);
         return;
       }
@@ -226,7 +227,7 @@ void RecoveryManager::OnProcessCrashNotice(const ProcessId& pid) {
     // §1.1.2: "the system is permitted to 'round up' any system fault to a
     // crash of all the processes affected" — in node-unit mode a process
     // fault becomes a node recovery.
-    auto location = cluster_->names().Locate(pid);
+    auto location = directory_->names().Locate(pid);
     if (location.ok()) {
       TriggerNodeRecovery(*location);
     }
@@ -299,7 +300,7 @@ void RecoveryManager::AdmitRecovery(const ProcessId& pid, NodeId target_node) {
   rp.rproc = ProcessId{recorder_->node(), next_rproc_local_++};
   rp.node = target_node;
   rp.round = next_round_++;
-  cluster_->names().SetLocation(rp.rproc, recorder_->node());
+  directory_->names().SetLocation(rp.rproc, recorder_->node());
 
   RecreateRequest req;
   req.pid = pid;
@@ -526,7 +527,7 @@ void RecoveryManager::StartNodeRecovery(NodeId node) {
   nr.node = node;
   nr.rproc = ProcessId{recorder_->node(), next_rproc_local_++};
   nr.round = next_round_++;
-  cluster_->names().SetLocation(nr.rproc, recorder_->node());
+  directory_->names().SetLocation(nr.rproc, recorder_->node());
 
   RestoreNodeRequest req;
   req.node = node;
@@ -781,7 +782,7 @@ void RecoveryManager::OnRecorderRestart(uint64_t restart_number) {
   StateQuery query;
   query.restart_number = restart_number;
   query.pids = recorder_->storage().AllProcesses();
-  for (NodeId node : cluster_->node_ids()) {
+  for (NodeId node : directory_->node_ids()) {
     ++stats_.state_queries_sent;
     SendFromRecoveryPid(manager, ProcessId{node, NodeKernel::kKernelLocalId},
                         EncodeStateQuery(query));

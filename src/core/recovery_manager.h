@@ -40,7 +40,7 @@
 #include <vector>
 
 #include "src/core/recorder.h"
-#include "src/demos/cluster.h"
+#include "src/demos/node_directory.h"
 
 namespace publishing {
 
@@ -102,7 +102,11 @@ struct RecoveryManagerStats {
 
 class RecoveryManager {
  public:
-  RecoveryManager(Cluster* cluster, Recorder* recorder, RecoveryManagerOptions options);
+  // `directory` scopes this manager: it watches and recovers the processes
+  // on the directory's nodes (the whole installation for a Cluster; one
+  // segment's nodes in the src/internet topology).
+  RecoveryManager(NodeDirectory* directory, Recorder* recorder,
+                  RecoveryManagerOptions options);
   ~RecoveryManager();
 
   RecoveryManager(const RecoveryManager&) = delete;
@@ -207,7 +211,7 @@ class RecoveryManager {
   void SendFromRecoveryPid(const ProcessId& rproc, const ProcessId& dst_kernel, Bytes body);
   uint64_t seq_for(const ProcessId& rproc);
 
-  Cluster* cluster_;
+  NodeDirectory* directory_;
   Recorder* recorder_;
   RecoveryManagerOptions options_;
   Simulator* sim_;

@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/demos/node_directory.h"
 #include "src/demos/node_kernel.h"
 #include "src/demos/system_programs.h"
 #include "src/net/ethernet.h"
@@ -41,22 +42,22 @@ struct ClusterConfig {
   NodeId system_node{1};
 };
 
-class Cluster {
+class Cluster : public NodeDirectory {
  public:
   explicit Cluster(ClusterConfig config);
-  ~Cluster();
+  ~Cluster() override;
 
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  Simulator& sim() { return sim_; }
+  Simulator& sim() override { return sim_; }
   Medium& medium() { return *medium_; }
-  NameService& names() { return names_; }
+  NameService& names() override { return names_; }
   ProgramRegistry& registry() { return registry_; }
 
   // Null for unknown/recorder node ids.
-  NodeKernel* kernel(NodeId node);
-  std::vector<NodeId> node_ids() const;
+  NodeKernel* kernel(NodeId node) override;
+  std::vector<NodeId> node_ids() const override;
   const ClusterConfig& config() const { return config_; }
 
   // Spawns the system-process chain; invoked from the constructor when

@@ -1,0 +1,39 @@
+// NodeDirectory: the slice of a DEMOS installation the recovery machinery
+// needs — virtual time, name resolution, and access to the processing-node
+// kernels it watches over.
+//
+// Cluster implements it for the paper's single-segment installation; the
+// multi-segment internetwork (src/internet) implements it once per media
+// segment, scoped to that segment's nodes, so each segment's recovery
+// manager watches and recovers exactly the processes its own recorder is
+// responsible for.
+
+#ifndef SRC_DEMOS_NODE_DIRECTORY_H_
+#define SRC_DEMOS_NODE_DIRECTORY_H_
+
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace publishing {
+
+class NameService;
+class NodeKernel;
+class Simulator;
+
+class NodeDirectory {
+ public:
+  virtual ~NodeDirectory() = default;
+
+  virtual Simulator& sim() = 0;
+  virtual NameService& names() = 0;
+  // The processing nodes in this directory's scope (recorder and gateway
+  // nodes excluded), in a deterministic order.
+  virtual std::vector<NodeId> node_ids() const = 0;
+  // Null for node ids outside the scope (including the recorder's node).
+  virtual NodeKernel* kernel(NodeId node) = 0;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_DEMOS_NODE_DIRECTORY_H_

@@ -1,0 +1,96 @@
+#include "src/internet/segment_map.h"
+
+#include <deque>
+
+namespace publishing {
+
+size_t SegmentMap::AddSegment(NodeId recorder_node) {
+  const size_t segment = recorder_nodes_.size();
+  recorder_nodes_.push_back(recorder_node);
+  homes_[recorder_node] = static_cast<int32_t>(segment);
+  RecomputeRoutes();
+  return segment;
+}
+
+void SegmentMap::AssignNode(NodeId node, size_t segment) {
+  homes_[node] = static_cast<int32_t>(segment);
+}
+
+size_t SegmentMap::AddGateway(NodeId node, std::vector<size_t> segments) {
+  const size_t gateway = gateways_.size();
+  gateways_.push_back(GatewayEntry{node, std::move(segments), true});
+  RecomputeRoutes();
+  return gateway;
+}
+
+void SegmentMap::SetGatewayUp(size_t gateway, bool up) {
+  if (gateways_[gateway].up == up) {
+    return;
+  }
+  gateways_[gateway].up = up;
+  RecomputeRoutes();
+}
+
+int32_t SegmentMap::SegmentOf(NodeId node) const {
+  auto it = homes_.find(node);
+  return it == homes_.end() ? -1 : it->second;
+}
+
+std::optional<SegmentMap::Hop> SegmentMap::Route(size_t from, size_t to) const {
+  if (from == to || from >= segment_count() || to >= segment_count()) {
+    return std::nullopt;
+  }
+  const size_t index = from * segment_count() + to;
+  if (!reachable_[index]) {
+    return std::nullopt;
+  }
+  return routes_[index];
+}
+
+void SegmentMap::RecomputeRoutes() {
+  const size_t n = segment_count();
+  routes_.assign(n * n, Hop{});
+  reachable_.assign(n * n, false);
+  // BFS per source segment.  Neighbors expand in gateway-index order, so the
+  // first (shortest) path found ties toward the lowest gateway index —
+  // deterministic, and exactly one gateway owns any (from, to) flow.
+  for (size_t src = 0; src < n; ++src) {
+    std::vector<bool> visited(n, false);
+    visited[src] = true;
+    std::deque<size_t> frontier{src};
+    // First hop taken from src on the path to each segment.
+    std::vector<Hop> first_hop(n);
+    while (!frontier.empty()) {
+      const size_t seg = frontier.front();
+      frontier.pop_front();
+      for (size_t g = 0; g < gateways_.size(); ++g) {
+        const GatewayEntry& gw = gateways_[g];
+        if (!gw.up) {
+          continue;
+        }
+        bool attached = false;
+        for (size_t s : gw.segments) {
+          if (s == seg) {
+            attached = true;
+            break;
+          }
+        }
+        if (!attached) {
+          continue;
+        }
+        for (size_t next : gw.segments) {
+          if (next == seg || next >= n || visited[next]) {
+            continue;
+          }
+          visited[next] = true;
+          first_hop[next] = seg == src ? Hop{g, next} : first_hop[seg];
+          routes_[src * n + next] = first_hop[next];
+          reachable_[src * n + next] = true;
+          frontier.push_back(next);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace publishing

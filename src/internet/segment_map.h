@@ -1,0 +1,97 @@
+// SegmentMap: the internetwork supervisor's view of the topology.
+//
+// The multi-segment internetwork (DESIGN.md §13) partitions publish
+// responsibility by *home segment*: every node lives on exactly one media
+// segment, and that segment's recorder records the send watermarks of its
+// nodes and publishes every message addressed to them.  The SegmentMap owns
+// that partition function plus the gateway routing tables: which gateway
+// carries traffic from segment A toward segment B, recomputed whenever a
+// gateway goes down or comes back (the supervisor role of the
+// publish-subscribe maintenance literature, PAPERS.md).
+//
+// Routing is deterministic: breadth-first over the up-gateway adjacency,
+// ties broken by lowest gateway index, so identical topologies always yield
+// identical routes (and the simulation stays replayable).
+
+#ifndef SRC_INTERNET_SEGMENT_MAP_H_
+#define SRC_INTERNET_SEGMENT_MAP_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/ids.h"
+
+namespace publishing {
+
+class SegmentMap {
+ public:
+  // The next hop from one segment toward another: leave through `gateway`
+  // onto `egress` (one of the gateway's attached segments).
+  struct Hop {
+    size_t gateway = 0;
+    size_t egress = 0;
+  };
+
+  // Registers a new segment whose responsible recorder lives on
+  // `recorder_node`; returns the segment id.  The recorder node is assigned
+  // to the segment automatically.
+  size_t AddSegment(NodeId recorder_node);
+
+  // Homes `node` on `segment`.  Every processing node must be assigned
+  // before traffic flows; reassignment is not supported.
+  void AssignNode(NodeId node, size_t segment);
+
+  // Registers a gateway node bridging `segments` (usually two); returns the
+  // gateway index.  Gateway nodes belong to no segment — SegmentOf returns
+  // -1 for them.  Starts up; routes are recomputed immediately.
+  size_t AddGateway(NodeId node, std::vector<size_t> segments);
+
+  // Marks a gateway up/down and recomputes every route (the supervisor
+  // reacting to a gateway fault or repair).
+  void SetGatewayUp(size_t gateway, bool up);
+  bool gateway_up(size_t gateway) const { return gateways_[gateway].up; }
+
+  // Home segment of `node`, or -1 for unknown nodes and gateways.
+  int32_t SegmentOf(NodeId node) const;
+
+  size_t segment_count() const { return recorder_nodes_.size(); }
+  size_t gateway_count() const { return gateways_.size(); }
+  NodeId recorder_node(size_t segment) const { return recorder_nodes_[segment]; }
+  NodeId gateway_node(size_t gateway) const { return gateways_[gateway].node; }
+  const std::vector<size_t>& gateway_segments(size_t gateway) const {
+    return gateways_[gateway].segments;
+  }
+
+  // Next hop from segment `from` toward segment `to`; nullopt when no path
+  // of up gateways exists (or from == to).
+  std::optional<Hop> Route(size_t from, size_t to) const;
+
+  // The partition function as a plain callable, for the oracle's
+  // cross-segment checks.  Captures `this`; the map must outlive users.
+  std::function<int32_t(NodeId)> SegmentResolver() const {
+    return [this](NodeId node) { return SegmentOf(node); };
+  }
+
+ private:
+  struct GatewayEntry {
+    NodeId node;
+    std::vector<size_t> segments;
+    bool up = true;
+  };
+
+  void RecomputeRoutes();
+
+  std::vector<NodeId> recorder_nodes_;        // Indexed by segment id.
+  std::vector<GatewayEntry> gateways_;        // Indexed by gateway index.
+  std::unordered_map<NodeId, int32_t> homes_;  // Node -> segment.
+  // routes_[from * segment_count + to]; gateway == SIZE_MAX means no route.
+  std::vector<Hop> routes_;
+  std::vector<bool> reachable_;
+};
+
+}  // namespace publishing
+
+#endif  // SRC_INTERNET_SEGMENT_MAP_H_

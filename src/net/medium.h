@@ -106,6 +106,18 @@ class Medium {
                   [listener](const ListenerEntry& e) { return e.listener == listener; });
   }
 
+  // --- Gateway forwarding (src/internet) ---
+  // A forwarder is a station that receives the unicast frames whose
+  // destination is not attached to this medium — the link-layer hook a
+  // gateway uses to pick inter-segment traffic off its attached segments.
+  // Forwarders never shadow local delivery: if the destination is attached
+  // (even partition-hidden), the frame stays local.  Broadcast frames are
+  // segment-local by design and are never handed to forwarders.
+  void AttachForwarder(Station* forwarder) { forwarders_.push_back(forwarder); }
+  void DetachForwarder(Station* forwarder) {
+    std::erase_if(forwarders_, [forwarder](Station* s) { return s == forwarder; });
+  }
+
   // --- Network partitions (§3.6) ---
   // Places `node` into partition `group` (default group is 0).  Frames only
   // reach stations and listeners in the sender's group; guaranteed traffic
@@ -196,8 +208,21 @@ class Medium {
       return;
     }
     auto it = stations_.find(frame.dst);
-    if (it != stations_.end() && PartitionGroupOf(frame.dst) == group) {
-      DeliverCopy(it->second, frame);
+    if (it != stations_.end()) {
+      if (PartitionGroupOf(frame.dst) == group) {
+        DeliverCopy(it->second, frame);
+      }
+      // Attached but partition-hidden: the node is local, merely cut off.
+      // Handing the frame to a forwarder would route around the partition.
+      return;
+    }
+    // Destination not on this medium: offer the frame to each forwarder that
+    // shares the sender's partition (a gateway decides whether it owns the
+    // route).
+    for (Station* forwarder : forwarders_) {
+      if (PartitionGroupOf(forwarder->Address()) == group) {
+        DeliverCopy(forwarder, frame);
+      }
     }
   }
 
@@ -294,6 +319,7 @@ class Medium {
   std::unordered_map<NodeId, Station*> stations_;
   std::vector<NodeId> attach_order_;
   std::vector<ListenerEntry> listeners_;
+  std::vector<Station*> forwarders_;
   std::unordered_map<NodeId, int> partitions_;
 
   // Observability handles (null = detached).

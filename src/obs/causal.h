@@ -56,9 +56,11 @@ enum class LifecycleStage : uint8_t {
   kAcked = 6,      // The destination sent the end-to-end acknowledgement.
   kRead = 7,       // The destination process consumed it.
   kReplayed = 8,   // Re-injected delivery during recovery replay.
+  kForwarded = 9,  // A gateway carried it onto another media segment
+                   // (src/internet); from/to segment ids ride the event.
 };
 
-inline constexpr size_t kLifecycleStageCount = 9;
+inline constexpr size_t kLifecycleStageCount = 10;
 
 const char* LifecycleStageName(LifecycleStage stage);
 
@@ -71,6 +73,10 @@ struct LifecycleEvent {
   NodeId node;
   ProcessId process;
   uint64_t seq = 0;  // Global observation order, assigned by the tracker.
+  // kForwarded only: the media segments the gateway carried the frame
+  // between.  -1 (the default) on every other stage.
+  int32_t from_segment = -1;
+  int32_t to_segment = -1;
 };
 
 }  // namespace publishing

@@ -30,6 +30,8 @@ const char* LifecycleStageName(LifecycleStage stage) {
       return "read";
     case LifecycleStage::kReplayed:
       return "replayed";
+    case LifecycleStage::kForwarded:
+      return "forwarded";
   }
   return "unknown";
 }
@@ -100,6 +102,29 @@ void LifecycleTracker::Observe(const CausalContext& ctx, LifecycleStage stage,
   event.time = sim_->Now();
   event.node = node;
   event.process = process;
+  ObserveEvent(event);
+}
+
+void LifecycleTracker::ObserveForwarded(const CausalContext& ctx, NodeId node,
+                                        int32_t from_segment, int32_t to_segment) {
+  if (!ctx.valid()) {
+    return;
+  }
+  LifecycleEvent event;
+  event.ctx = ctx;
+  event.stage = LifecycleStage::kForwarded;
+  event.time = sim_->Now();
+  event.node = node;
+  event.from_segment = from_segment;
+  event.to_segment = to_segment;
+  ObserveEvent(event);
+}
+
+void LifecycleTracker::ObserveEvent(LifecycleEvent& event) {
+  const CausalContext& ctx = event.ctx;
+  const LifecycleStage stage = event.stage;
+  const NodeId node = event.node;
+  const ProcessId process = event.process;
   event.seq = next_seq_++;
 
   const size_t s = static_cast<size_t>(stage);
@@ -117,6 +142,20 @@ void LifecycleTracker::Observe(const CausalContext& ctx, LifecycleStage stage,
     }
     if (stage == LifecycleStage::kRead && process.IsValid()) {
       rec.dst_process = process;
+    }
+  }
+  if (stage == LifecycleStage::kForwarded &&
+      rec.forwards.size() < LifecycleRecord::kMaxForwardPairs) {
+    const std::pair<int32_t, int32_t> hop{event.from_segment, event.to_segment};
+    bool known = false;
+    for (const auto& seen : rec.forwards) {
+      if (seen == hop) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      rec.forwards.push_back(hop);
     }
   }
 
@@ -199,6 +238,19 @@ std::string LifecycleTracker::TableToJson() const {
     }
     out += ",\"flags\":" + std::to_string(rec.flags);
     out += ",\"hops\":" + std::to_string(rec.max_hop);
+    if (!rec.forwards.empty()) {
+      out += ",\"forwards\":[";
+      bool first_fwd = true;
+      for (const auto& [from, to] : rec.forwards) {
+        if (!first_fwd) {
+          out += ',';
+        }
+        first_fwd = false;
+        out += "{\"from\":" + std::to_string(from);
+        out += ",\"to\":" + std::to_string(to) + '}';
+      }
+      out += ']';
+    }
     out += ",\"stages\":{";
     bool first_stage = true;
     for (size_t s = 0; s < kLifecycleStageCount; ++s) {

@@ -33,6 +33,8 @@
 #include <deque>
 #include <map>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "src/common/ids.h"
 #include "src/obs/causal.h"
@@ -62,6 +64,11 @@ struct LifecycleRecord {
   SimTime first_time[kLifecycleStageCount];
   uint32_t count[kLifecycleStageCount];
   uint64_t span_id = 0;  // Open "msg.lifecycle" async span, 0 if none/closed.
+  // Distinct (from_segment, to_segment) gateway hops, in first-seen order,
+  // capped at kMaxForwardPairs (retransmits crossing the same gateway do not
+  // add entries; count[kForwarded] still counts every crossing).
+  static constexpr size_t kMaxForwardPairs = 8;
+  std::vector<std::pair<int32_t, int32_t>> forwards;
 
   LifecycleRecord() {
     for (size_t i = 0; i < kLifecycleStageCount; ++i) {
@@ -107,6 +114,13 @@ class LifecycleTracker {
   void Observe(const CausalContext& ctx, LifecycleStage stage, NodeId node,
                ProcessId process = {});
 
+  // Gateway hook: the message crossed from `from_segment` onto `to_segment`
+  // at gateway node `node` (src/internet).  Same as Observe(kForwarded) but
+  // carries the segment ids into the event for the oracle's
+  // gateway_forwarding monitor and the per-record forward list.
+  void ObserveForwarded(const CausalContext& ctx, NodeId node,
+                        int32_t from_segment, int32_t to_segment);
+
   // A process was recreated (new incarnation) during recovery.  Forwarded to
   // the oracle so per-incarnation invariants (duplicate delivery, receive
   // order) reset their state instead of flagging legitimate replays.
@@ -132,6 +146,7 @@ class LifecycleTracker {
 
  private:
   LifecycleRecord& FindOrCreate(const CausalContext& ctx);
+  void ObserveEvent(LifecycleEvent& event);
 
   const Simulator* sim_;
   size_t max_messages_;

@@ -20,6 +20,8 @@ const char* OracleMonitorName(OracleMonitor monitor) {
       return "duplicate_delivery";
     case OracleMonitor::kDurabilityBeforeAck:
       return "durability_before_ack";
+    case OracleMonitor::kGatewayForwarding:
+      return "gateway_forwarding";
   }
   return "unknown";
 }
@@ -110,17 +112,28 @@ void InvariantOracle::OnEvent(const LifecycleEvent& event) {
     }
     case LifecycleStage::kOverheard:
       break;
-    case LifecycleStage::kPublished:
-      messages_[ctx.id].published = true;
+    case LifecycleStage::kPublished: {
+      MessageState& ms = messages_[ctx.id];
+      ms.published = true;
+      if (segment_resolver_) {
+        // `event.node` is the publishing recorder's node; the resolver maps
+        // it to the segment that recorder is responsible for.
+        const int32_t segment = segment_resolver_(event.node);
+        if (segment >= 0) {
+          ms.published_segments |= uint64_t{1} << std::min<int32_t>(segment, 63);
+        }
+      }
       break;
+    }
     case LifecycleStage::kDurable:
       messages_[ctx.id].durable = true;
       break;
     case LifecycleStage::kDelivered: {
+      MessageState& ms = messages_[ctx.id];
+      ms.delivered = true;
       if (!bound || ctx.replay()) {
         break;
       }
-      const MessageState& ms = messages_[ctx.id];
       if (options_.recorder_completeness && !ms.published) {
         Violate(OracleMonitor::kRecorderCompleteness, event,
                 "delivered before the recorder published it (gating breached)");
@@ -128,6 +141,26 @@ void InvariantOracle::OnEvent(const LifecycleEvent& event) {
       if (options_.durability_before_ack && !ms.durable) {
         Violate(OracleMonitor::kDurabilityBeforeAck, event,
                 "delivered before the publication was journaled");
+      }
+      if (segment_resolver_) {
+        const int32_t dst_segment = segment_resolver_(event.node);
+        const int32_t src_segment = segment_resolver_(ctx.origin);
+        // Per-segment completeness: delivery on segment S requires a
+        // publication by S's responsible recorder, not just any recorder.
+        if (options_.recorder_completeness && ms.published && dst_segment >= 0 &&
+            (ms.published_segments &
+             (uint64_t{1} << std::min<int32_t>(dst_segment, 63))) == 0) {
+          Violate(OracleMonitor::kRecorderCompleteness, event,
+                  "delivered on segment " + std::to_string(dst_segment) +
+                      " without a publication by that segment's recorder");
+        }
+        if (options_.gateway_forwarding && src_segment >= 0 && dst_segment >= 0 &&
+            src_segment != dst_segment && !ms.forwarded) {
+          Violate(OracleMonitor::kGatewayForwarding, event,
+                  "delivered across segments (" + std::to_string(src_segment) +
+                      " -> " + std::to_string(dst_segment) +
+                      ") without any gateway forward");
+        }
       }
       break;
     }
@@ -145,7 +178,32 @@ void InvariantOracle::OnEvent(const LifecycleEvent& event) {
       // Replay *delivery* is not a read: the recovering process re-reads the
       // message later through the normal read path, which emits kRead.
       // Feeding both into the per-process monitors would double-count.
+      messages_[ctx.id].delivered = true;
       break;
+    case LifecycleStage::kForwarded: {
+      MessageState& ms = messages_[ctx.id];
+      ms.guaranteed = ms.guaranteed || ctx.guaranteed();
+      ms.control = ms.control || ctx.control();
+      ms.forwarded = true;
+      if (options_.gateway_forwarding && !ctx.replay()) {
+        // One transmission attempt (hop) may legitimately cross several
+        // gateways and a retransmission crosses them again with a higher
+        // hop, but the same attempt crossing the same segment pair twice
+        // means a gateway duplicated it (routing loop or double ownership).
+        const uint64_t tuple =
+            (uint64_t{ctx.hop} << 32) |
+            (uint64_t{static_cast<uint16_t>(event.from_segment)} << 16) |
+            uint64_t{static_cast<uint16_t>(event.to_segment)};
+        if (!forward_tuples_[ctx.id].insert(tuple).second) {
+          Violate(OracleMonitor::kGatewayForwarding, event,
+                  "transmission forwarded twice across segments " +
+                      std::to_string(event.from_segment) + " -> " +
+                      std::to_string(event.to_segment) +
+                      " (gateway duplication)");
+        }
+      }
+      break;
+    }
     case LifecycleStage::kRead: {
       if (!event.process.IsValid()) {
         break;
@@ -190,20 +248,37 @@ void InvariantOracle::OnProcessReset(const ProcessId& pid) {
 }
 
 void InvariantOracle::CheckQuiescent() {
-  if (!options_.recorder_completeness) {
-    return;
-  }
-  // Deterministic violation order despite the unordered map.
-  std::vector<MessageId> unpublished;
-  for (const auto& [id, ms] : messages_) {
-    if (ms.on_wire && ms.guaranteed && !ms.control && !ms.published) {
-      unpublished.push_back(id);
+  if (options_.recorder_completeness) {
+    // Deterministic violation order despite the unordered map.
+    std::vector<MessageId> unpublished;
+    for (const auto& [id, ms] : messages_) {
+      if (ms.on_wire && ms.guaranteed && !ms.control && !ms.published) {
+        unpublished.push_back(id);
+      }
+    }
+    std::sort(unpublished.begin(), unpublished.end());
+    for (const MessageId& id : unpublished) {
+      Violate(OracleMonitor::kRecorderCompleteness, id, ProcessId{}, last_event_time_,
+              "reached the wire but was never published (checked at quiescence)");
     }
   }
-  std::sort(unpublished.begin(), unpublished.end());
-  for (const MessageId& id : unpublished) {
-    Violate(OracleMonitor::kRecorderCompleteness, id, ProcessId{}, last_event_time_,
-            "reached the wire but was never published (checked at quiescence)");
+  if (options_.gateway_forwarding) {
+    // Nothing a gateway forwarded may be silently dropped: a guaranteed,
+    // non-control message that crossed a gateway must eventually reach its
+    // destination (retransmission covers transient queue drops, so at
+    // quiescence the obligation is unconditional).
+    std::vector<MessageId> dropped;
+    for (const auto& [id, ms] : messages_) {
+      if (ms.forwarded && ms.guaranteed && !ms.control && !ms.delivered) {
+        dropped.push_back(id);
+      }
+    }
+    std::sort(dropped.begin(), dropped.end());
+    for (const MessageId& id : dropped) {
+      Violate(OracleMonitor::kGatewayForwarding, id, ProcessId{}, last_event_time_,
+              "forwarded across a gateway but never delivered (checked at "
+              "quiescence)");
+    }
   }
 }
 
@@ -211,7 +286,8 @@ std::string InvariantOracle::ReportJson() const {
   std::string out = "{\"monitors\":{";
   const bool enabled[kOracleMonitorCount] = {
       options_.recorder_completeness, options_.receive_order,
-      options_.duplicate_delivery, options_.durability_before_ack};
+      options_.duplicate_delivery, options_.durability_before_ack,
+      options_.gateway_forwarding};
   for (size_t i = 0; i < kOracleMonitorCount; ++i) {
     if (i > 0) {
       out += ',';

@@ -20,6 +20,15 @@
 //   * durability_before_ack  — a guaranteed, non-replay, non-control message
 //       must be journaled to stable storage before the receiver's end-to-end
 //       acknowledgement (and before delivery).
+//   * gateway_forwarding     — in a multi-segment internetwork (src/internet)
+//       no gateway duplicates a transmission across the same segment pair, a
+//       message delivered on a foreign segment must have crossed a gateway,
+//       and nothing forwarded is silently dropped (checked at quiescence).
+//
+// When a segment resolver is installed (SetSegmentResolver), the
+// recorder_completeness monitor is additionally scoped per segment: a message
+// delivered on segment S must have been published by a recorder responsible
+// for S, not merely by *some* recorder on another segment.
 //
 // The oracle is a passive sink: it never mutates the system under test, and
 // with no oracle attached the lifecycle hooks cost one null check.  On a
@@ -58,9 +67,10 @@ enum class OracleMonitor : uint8_t {
   kReceiveOrder = 1,
   kDuplicateDelivery = 2,
   kDurabilityBeforeAck = 3,
+  kGatewayForwarding = 4,
 };
 
-inline constexpr size_t kOracleMonitorCount = 4;
+inline constexpr size_t kOracleMonitorCount = 5;
 
 const char* OracleMonitorName(OracleMonitor monitor);
 
@@ -77,6 +87,7 @@ struct OracleOptions {
   bool receive_order = true;
   bool duplicate_delivery = true;
   bool durability_before_ack = true;
+  bool gateway_forwarding = true;
   OraclePolicy policy = OraclePolicy::kLog;
   // Violations retained for inspection; older ones are dropped (counts are
   // never dropped).
@@ -99,6 +110,14 @@ class InvariantOracle {
   // Extra hook for tests (runs on every violation, after recording).
   void SetViolationHook(std::function<void(const OracleViolation&)> hook) {
     hook_ = std::move(hook);
+  }
+  // Installs the node -> segment partition function (src/internet's
+  // SegmentMap::SegmentResolver).  Enables the cross-segment checks: per-
+  // segment completeness scoping and delivered-without-forward detection.
+  // The resolver must return -1 for nodes outside any segment (gateways) and
+  // must outlive the oracle.  Null reverts to single-segment behaviour.
+  void SetSegmentResolver(std::function<int32_t(NodeId)> resolver) {
+    segment_resolver_ = std::move(resolver);
   }
 
   // Feed: called by the LifecycleTracker for every stage observation.
@@ -131,6 +150,11 @@ class InvariantOracle {
     bool durable = false;
     bool guaranteed = false;
     bool control = false;
+    bool delivered = false;  // Live or replayed delivery reached a node.
+    bool forwarded = false;  // Crossed at least one gateway.
+    // Segments whose recorder published this message (bit min(segment, 63)).
+    // Only maintained when a segment resolver is installed.
+    uint64_t published_segments = 0;
   };
 
   struct ProcessState {
@@ -153,6 +177,11 @@ class InvariantOracle {
   Options options_;
   std::unordered_map<MessageId, MessageState> messages_;
   std::unordered_map<ProcessId, ProcessState> processes_;
+  // Per message: encoded (hop, from_segment, to_segment) gateway crossings
+  // already seen, for duplicate-forward detection.  Kept out of MessageState
+  // so messages that never cross a gateway pay nothing.
+  std::unordered_map<MessageId, std::unordered_set<uint64_t>> forward_tuples_;
+  std::function<int32_t(NodeId)> segment_resolver_;
 
   uint64_t total_violations_ = 0;
   uint64_t violation_counts_[kOracleMonitorCount] = {};

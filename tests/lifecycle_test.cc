@@ -74,6 +74,7 @@ TEST(CausalContext, StageNamesAreStable) {
   EXPECT_STREQ(LifecycleStageName(LifecycleStage::kAcked), "acked");
   EXPECT_STREQ(LifecycleStageName(LifecycleStage::kRead), "read");
   EXPECT_STREQ(LifecycleStageName(LifecycleStage::kReplayed), "replayed");
+  EXPECT_STREQ(LifecycleStageName(LifecycleStage::kForwarded), "forwarded");
 }
 
 // ---------------------------------------------------------------------------
